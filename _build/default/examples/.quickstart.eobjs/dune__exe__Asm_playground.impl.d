@@ -1,0 +1,1 @@
+examples/asm_playground.ml: Array Capability Fmt Interp Isa List Machine Perm

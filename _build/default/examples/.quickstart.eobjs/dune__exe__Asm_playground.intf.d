@@ -1,0 +1,1 @@
+examples/asm_playground.mli:

@@ -1,0 +1,1 @@
+examples/iot_app.ml: Array Fmt Iot_scenario Sys

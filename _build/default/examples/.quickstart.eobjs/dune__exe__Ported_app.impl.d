@@ -1,0 +1,1 @@
+examples/ported_app.ml: Allocator Capability Firmware Fmt Freertos_compat Kernel Loader Machine Option Printf Result System Uart

@@ -1,0 +1,1 @@
+examples/ported_app.mli:

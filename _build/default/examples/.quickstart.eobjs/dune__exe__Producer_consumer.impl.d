@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Allocator Array Capability Firmware Fmt Interp Kernel Loader Machine Memory Queue_comp Result System

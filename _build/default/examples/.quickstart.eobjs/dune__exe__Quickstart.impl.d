@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocator Array Capability Firmware Fmt Interp Kernel Loader Machine Memory Result System

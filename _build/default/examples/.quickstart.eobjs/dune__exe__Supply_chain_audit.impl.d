@@ -1,0 +1,1 @@
+examples/supply_chain_audit.ml: Allocator Audit_report Firmware Fmt Interp Json List Loader Machine Rego Result

@@ -1,0 +1,87 @@
+(* The hardware substrate up close: assemble and run a CHERIoT program
+   on the ISA interpreter, watch capability derivation at the
+   instruction level, and see a bounds violation trap mid-loop.
+
+   The program is a bounded memcpy: it derives exactly-sized views of
+   the source and destination (capability hygiene as the compiler would
+   emit it), copies, and then — as the "bug" — keeps copying one word
+   past the destination's bounds, which the hardware refuses.
+
+   Run with: dune exec examples/asm_playground.exe *)
+
+module Cap = Capability
+open Isa
+
+let code_base = 0x4000_0000
+
+let memcpy_words ~n_words ~overrun =
+  (* ca0 = src cap, ca1 = dst cap; ct0 = counter *)
+  [
+    L "memcpy";
+    I (Li (ct0, 0));
+    L "loop";
+    I (Li (ct1, n_words + if overrun then 1 else 0));
+    I (Beq (ct0, ct1, "done"));
+    I (Lw (ca2, 0, ca0));
+    I (Sw (ca2, 0, ca1));
+    I (Cincaddrimm (ca0, ca0, 4));
+    I (Cincaddrimm (ca1, ca1, 4));
+    I (Addi (ct0, ct0, 1));
+    I (J "loop");
+    L "done";
+    I Halt;
+  ]
+
+let run_case ~overrun =
+  let machine = Machine.create ~sram_size:(64 * 1024) () in
+  let t = Interp.create machine in
+  let prog = assemble ~name:"memcpy" (memcpy_words ~n_words:4 ~overrun) in
+  Interp.map_segment t ~base:code_base prog;
+  let pcc =
+    Cap.make_root ~base:code_base
+      ~top:(code_base + Isa.code_bytes prog)
+      ~perms:Perm.Set.executable
+  in
+  let sram = Machine.sram_base machine in
+  let root =
+    Cap.make_root ~base:sram ~top:(sram + Machine.sram_size machine)
+      ~perms:Perm.Set.read_write
+  in
+  (* Source data. *)
+  List.iteri
+    (fun i v -> Machine.store machine ~auth:root ~addr:(sram + (4 * i)) ~size:4 v)
+    [ 0xCAFE; 0xF00D; 0xBEEF; 0x1DEA ];
+  (* Exact views: src = 16 bytes read-only, dst = 16 bytes write-only-ish. *)
+  let view addr len perms =
+    Cap.exn
+      (Cap.and_perms
+         (Cap.exn (Cap.set_bounds (Cap.with_address_exn root addr) ~length:len))
+         perms)
+  in
+  let regs = Interp.regs t in
+  regs.(ca0) <- view sram 32 Perm.Set.read_only;
+  regs.(ca1) <- view (sram + 64) 16 Perm.Set.read_write;
+  Fmt.pr "  src: %a@." Cap.pp regs.(ca0);
+  Fmt.pr "  dst: %a@." Cap.pp regs.(ca1);
+  let c0 = Machine.cycles machine in
+  (match Interp.run t pcc with
+  | Interp.Halted ->
+      Fmt.pr "  halted after %d instructions, %d cycles@." (Interp.instret t)
+        (Machine.cycles machine - c0);
+      for i = 0 to 3 do
+        Fmt.pr "  dst[%d] = 0x%x@." i
+          (Machine.load machine ~auth:root ~addr:(sram + 64 + (4 * i)) ~size:4)
+      done
+  | Interp.Trapped tr -> Fmt.pr "  CHERI trap: %a@." Interp.pp_trap tr
+  | Interp.Exited _ -> Fmt.pr "  (left the segment?)@.")
+
+let () =
+  Fmt.pr "The memcpy routine, assembled:@.%a@." Isa.pp_program
+    (assemble ~name:"memcpy" (memcpy_words ~n_words:4 ~overrun:false));
+  Fmt.pr "correct copy (4 words into a 4-word destination):@.";
+  run_case ~overrun:false;
+  Fmt.pr "@.buggy copy (5 words into the same 4-word destination):@.";
+  run_case ~overrun:true;
+  Fmt.pr
+    "@.The overrun trapped *before* the out-of-bounds store executed —@.\
+     the deterministic spatial safety every CHERIoT pointer carries (§2.1).@."

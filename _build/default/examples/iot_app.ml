@@ -1,0 +1,22 @@
+(* The full §5.3.3 case study (Fig. 7): a JavaScript application on the
+   CHERIoT RTOS connects to an IoT back-end with MQTT over TLS over the
+   compartmentalized network stack, subscribes to notifications, blinks
+   the LEDs on receipt — and survives a "ping of death" that crashes the
+   TCP/IP compartment, which micro-reboots and re-establishes service.
+
+   Run with: dune exec examples/iot_app.exe        (the 52 s trace)
+            dune exec examples/iot_app.exe -- fast (scaled-down profile) *)
+
+let () =
+  let fast = Array.exists (fun a -> a = "fast") Sys.argv in
+  Fmt.pr
+    "IoT deployment on CHERIoT RTOS (paper §5.3.3, Fig. 7)%s@.@."
+    (if fast then " — fast profile" else "");
+  let r = Iot_scenario.run ~fast () in
+  Fmt.pr "%a@." Iot_scenario.pp_result r;
+  if r.Iot_scenario.reboots = 1 && r.Iot_scenario.blinks > 0 then
+    Fmt.pr
+      "@.The TCP/IP compartment crashed once, micro-rebooted in %.2f s, and@.\
+       the application recovered end-to-end (LED blinked %d times).@."
+      r.Iot_scenario.reboot_duration_s r.Iot_scenario.blinks
+  else Fmt.pr "@.unexpected outcome: %d reboots, %d blinks@." r.Iot_scenario.reboots r.Iot_scenario.blinks

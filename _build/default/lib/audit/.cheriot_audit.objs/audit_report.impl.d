@@ -1,0 +1,1 @@
+lib/audit/audit_report.ml: Array Buffer Firmware Json List Loader Option Printf Switcher

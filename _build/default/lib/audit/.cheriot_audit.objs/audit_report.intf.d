@@ -1,0 +1,1 @@
+lib/audit/audit_report.mli: Json Loader

@@ -1,0 +1,1 @@
+lib/audit/rego.ml: Buffer Json List Option Printf String

@@ -1,0 +1,1 @@
+lib/audit/rego.mli: Json

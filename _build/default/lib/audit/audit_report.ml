@@ -1,0 +1,115 @@
+let posture_string = function
+  | Firmware.Interrupts_enabled -> "enabled"
+  | Firmware.Interrupts_disabled -> "disabled"
+
+let import_json (display, imp) =
+  let open Json in
+  let fields =
+    match imp with
+    | Firmware.Call { comp; entry } ->
+        [ ("kind", Str "compartment_call"); ("compartment_name", Str comp);
+          ("function", Str entry) ]
+    | Firmware.Lib_call { lib; entry } ->
+        [ ("kind", Str "library_call"); ("compartment_name", Str lib);
+          ("function", Str entry) ]
+    | Firmware.Mmio { device } -> [ ("kind", Str "mmio"); ("device", Str device) ]
+    | Firmware.Static_sealed { target } ->
+        [ ("kind", Str "static_sealed"); ("target", Str target) ]
+    | Firmware.Unseal_key { sealed_as } ->
+        [ ("kind", Str "unseal_key"); ("sealed_as", Str sealed_as) ]
+  in
+  Obj (("name", Str display) :: fields)
+
+let of_loader (ld : Loader.t) =
+  let open Json in
+  let fw = ld.Loader.fw in
+  let comp_json (l : Loader.comp_layout) =
+    let fw_comp = Option.get (Firmware.find_compartment fw l.Loader.lc_name) in
+    ( l.Loader.lc_name,
+      Obj
+        [
+          ( "kind",
+            Str
+              (match l.Loader.lc_kind with
+              | Firmware.Compartment -> "compartment"
+              | Firmware.Library -> "library") );
+          ("code_size", Int l.Loader.lc_code_size);
+          ("globals_size", Int l.Loader.lc_globals_size);
+          ("export_table_size", Int l.Loader.lc_export_size);
+          ("import_table_size", Int l.Loader.lc_import_size);
+          ("error_handler", Bool fw_comp.Firmware.has_error_handler);
+          ( "exports",
+            List
+              (List.map
+                 (fun (e : Firmware.entry) ->
+                   Obj
+                     [
+                       ("function", Str e.Firmware.entry_name);
+                       ("arity", Int e.Firmware.arity);
+                       ("min_stack", Int e.Firmware.min_stack);
+                       ("interrupt_posture", Str (posture_string e.Firmware.posture));
+                     ])
+                 (Array.to_list l.Loader.lc_entries)) );
+          ( "imports",
+            List (List.map import_json (Array.to_list l.Loader.lc_imports)) );
+        ] )
+  in
+  let sealed_json (s : Loader.sealed_layout) =
+    let decl = List.find (fun (d : Firmware.static_sealed) -> d.Firmware.sobj_name = s.Loader.ls_name) fw.Firmware.sealed_objects in
+    ( s.Loader.ls_name,
+      Obj
+        [
+          ("sealed_as", Str decl.Firmware.sealed_as);
+          ("virtual_type", Int s.Loader.ls_virtual_type);
+          ("size", Int s.Loader.ls_size);
+          ("payload", List (List.map (fun w -> Int w) decl.Firmware.payload));
+        ] )
+  in
+  let thread_json (t : Loader.thread_layout) =
+    Obj
+      [
+        ("name", Str t.Loader.lt_name);
+        ("compartment", Str t.Loader.lt_comp);
+        ("entry_point", Str t.Loader.lt_entry);
+        ("priority", Int t.Loader.lt_priority);
+        ("stack_size", Int t.Loader.lt_stack_size);
+        ("trusted_stack_size", Int t.Loader.lt_tstack_size);
+      ]
+  in
+  Obj
+    [
+      ("image", Str fw.Firmware.image_name);
+      ("compartments", Obj (List.map comp_json ld.Loader.comps));
+      ("sealed_objects", Obj (List.map sealed_json ld.Loader.sealed));
+      ("threads", List (List.map thread_json ld.Loader.threads));
+      ( "heap",
+        Obj
+          [
+            ("base", Int ld.Loader.heap_base);
+            ("size", Int (ld.Loader.heap_limit - ld.Loader.heap_base));
+          ] );
+      ("switcher", Obj [ ("instructions", Int Switcher.instruction_count) ]);
+    ]
+
+let summary report =
+  let b = Buffer.create 512 in
+  let comps = Json.member "compartments" report in
+  Buffer.add_string b
+    (Printf.sprintf "image %s: %d compartments, %d threads\n"
+       (Option.value ~default:"?" (Json.to_string_opt (Json.member "image" report)))
+       (List.length (Json.keys comps))
+       (List.length (Json.to_list (Json.member "threads" report))));
+  List.iter
+    (fun name ->
+      let c = Json.member name comps in
+      let imports = Json.to_list (Json.member "imports" c) in
+      let exports = Json.to_list (Json.member "exports" c) in
+      Buffer.add_string b
+        (Printf.sprintf "  %-14s %-11s %4d B code, %3d B globals, %d exports, %d imports\n"
+           name
+           (Option.value ~default:"?" (Json.to_string_opt (Json.member "kind" c)))
+           (Option.value ~default:0 (Json.to_int_opt (Json.member "code_size" c)))
+           (Option.value ~default:0 (Json.to_int_opt (Json.member "globals_size" c)))
+           (List.length exports) (List.length imports)))
+    (Json.keys comps);
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** The linker/loader firmware report (§4).
+
+    The loader's guarantee — after boot, only a compartment's import
+    table can hold pointers to memory it does not own — means this report
+    describes the complete inter-compartment surface: every callable
+    entry point, every import (including MMIO grants and sealed
+    objects), every thread and every quota.  External tools check it
+    against policy without access to the sources. *)
+
+val of_loader : Loader.t -> Json.t
+(** Build the JSON report for a loaded image. *)
+
+val summary : Json.t -> string
+(** Human-readable one-screen digest (compartments, imports, threads). *)

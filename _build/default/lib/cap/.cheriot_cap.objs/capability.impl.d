@@ -1,0 +1,1 @@
+lib/cap/capability.ml: Fmt Perm

@@ -1,0 +1,1 @@
+lib/cap/capability.mli: Fmt Perm

@@ -1,0 +1,1 @@
+lib/cap/perm.ml: Fmt List

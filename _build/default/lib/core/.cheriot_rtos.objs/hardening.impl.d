@@ -1,0 +1,1 @@
+lib/core/hardening.ml: Capability Kernel Machine Perm

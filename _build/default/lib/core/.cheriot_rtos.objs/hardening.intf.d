@@ -1,0 +1,1 @@
+lib/core/hardening.mli: Kernel Perm

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Abi Array Buffer Capability Char Cost Effect Firmware Fmt Fun Interp Isa List Loader Logs Machine Memory Option Perm Printf Result Seq String Switcher

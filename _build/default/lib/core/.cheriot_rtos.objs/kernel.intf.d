@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Capability Firmware Fmt Interp Loader Machine

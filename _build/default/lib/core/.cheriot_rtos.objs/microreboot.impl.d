@@ -1,0 +1,1 @@
+lib/core/microreboot.ml: Hashtbl Kernel List Machine

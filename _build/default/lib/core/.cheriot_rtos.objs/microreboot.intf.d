@@ -1,0 +1,1 @@
+lib/core/microreboot.mli: Kernel

@@ -1,0 +1,1 @@
+lib/core/scoped.ml: Capability Cost Kernel Machine Memory

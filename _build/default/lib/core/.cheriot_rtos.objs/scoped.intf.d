@@ -1,0 +1,1 @@
+lib/core/scoped.mli: Kernel

@@ -1,0 +1,1 @@
+lib/core/tainted.ml: Hardening Perm

@@ -1,0 +1,1 @@
+lib/core/tainted.mli: Kernel Perm

@@ -1,0 +1,685 @@
+module Cap = Capability
+
+type value = Cap.t
+
+type t = {
+  machine : Machine.t;
+  interp : Interp.t;
+  loader : Loader.t;
+  comps : comp_runtime array;
+  threads : thread array;
+  quantum : int;
+  mutable current : int option;
+  mutable last_ran : int option;
+  mutable idle : int;
+  mutable switches : int;
+  mutable stop : bool;
+  mutable preempt_pending : bool;
+  mutable irq_handlers : (int -> unit) list;
+  pad_exec : Cap.t;
+}
+
+and comp_runtime = {
+  layout : Loader.comp_layout;
+  mutable impls : (string * entry_impl) list;
+  mutable on_error : error_handler option;
+  mutable poisoned : bool;
+  mutable snapshot : string option;
+  mutable reboots : int;
+}
+
+and thread = {
+  tid : int;
+  tlayout : Loader.thread_layout;
+  mutable state : tstate;
+  mutable resume : (wake_reason -> unit) option;
+  mutable wake_value : wake_reason;
+  mutable deadline : int option;
+  mutable started : bool;
+  mutable hazards : value list;
+  mutable watermark : int;
+}
+
+and tstate = Ready | Running | Blocked | Finished
+
+and ctx = {
+  kernel : t;
+  comp_id : int;
+  thread_id : int;
+  csp : value;
+  cgp : value;
+}
+
+and fault_info = {
+  fault_cause : string;
+  fault_addr : int;
+  fault_comp : string;
+  fault_thread : int;
+}
+
+and entry_impl = ctx -> value array -> value * value
+and error_handler = ctx -> fault_info -> [ `Unwind ]
+and wake_reason = Woken of int | Timed_out
+
+exception Thread_exit
+
+type call_error =
+  | Fault_in_callee
+  | Invalid_import
+  | Insufficient_stack
+  | Trusted_stack_exhausted
+  | Compartment_poisoned
+
+let pp_call_error ppf e =
+  Fmt.string ppf
+    (match e with
+    | Fault_in_callee -> "fault in callee"
+    | Invalid_import -> "invalid import"
+    | Insufficient_stack -> "insufficient stack"
+    | Trusted_stack_exhausted -> "trusted stack exhausted"
+    | Compartment_poisoned -> "compartment poisoned")
+
+type _ Effect.t +=
+  | Eff_yield : unit Effect.t
+  | Eff_suspend :
+      (int option * ((wake_reason -> bool) -> unit))
+      -> wake_reason Effect.t
+
+(* Accessors *)
+
+let machine t = t.machine
+let interp t = t.interp
+let loader t = t.loader
+let firmware t = t.loader.Loader.fw
+
+let comp_id t name =
+  match
+    Array.to_seq t.comps
+    |> Seq.filter (fun c -> c.layout.Loader.lc_name = name)
+    |> Seq.uncons
+  with
+  | Some (c, _) -> c.layout.Loader.lc_id
+  | None -> invalid_arg ("unknown compartment " ^ name)
+
+let comp_name t id = t.comps.(id).layout.Loader.lc_name
+let current_thread t = t.current
+let thread_count t = Array.length t.threads
+let thread_name t i = t.threads.(i).tlayout.Loader.lt_name
+let idle_cycles t = t.idle
+let context_switches t = t.switches
+let add_irq_handler t h = t.irq_handlers <- t.irq_handlers @ [ h ]
+
+(* Boot *)
+
+let boot ?loader_size ?(quantum = 2000) ~machine fw =
+  let interp = Interp.create machine in
+  match Loader.load ?loader_size fw machine interp with
+  | Error _ as e -> e
+  | Ok ld ->
+      let comps =
+        Array.of_list
+          (List.map
+             (fun layout ->
+               { layout; impls = []; on_error = None; poisoned = false;
+                 snapshot = None; reboots = 0 })
+             ld.Loader.comps)
+      in
+      let threads =
+        Array.of_list
+          (List.map
+             (fun (tl : Loader.thread_layout) ->
+               {
+                 tid = tl.Loader.lt_id;
+                 tlayout = tl;
+                 state = Ready;
+                 resume = None;
+                 wake_value = Timed_out;
+                 deadline = None;
+                 started = false;
+                 hazards = [];
+                 watermark = tl.Loader.lt_stack_base + tl.Loader.lt_stack_size;
+               })
+             ld.Loader.threads)
+      in
+      Loader.erase_loader ld;
+      let k =
+        {
+          machine;
+          interp;
+          loader = ld;
+          comps;
+          threads;
+          quantum;
+          current = None;
+          last_ran = None;
+          idle = 0;
+          switches = 0;
+          stop = false;
+          preempt_pending = false;
+          irq_handlers = [];
+          pad_exec =
+            Cap.make_root ~base:Abi.return_pad ~top:(Abi.return_pad + 16)
+              ~perms:Perm.Set.executable;
+        }
+      in
+      let deliver irq =
+        List.iter (fun h -> h irq) k.irq_handlers;
+        if irq = Machine.timer_irq && k.current <> None then
+          k.preempt_pending <- true
+      in
+      Machine.set_deliver_hook machine (Some deliver);
+      Machine.set_post_tick_hook machine
+        (Some
+           (fun () ->
+             if k.preempt_pending && k.current <> None then begin
+               k.preempt_pending <- false;
+               Effect.perform Eff_yield
+             end));
+      Ok k
+
+(* Registration *)
+
+let comp_runtime t name = t.comps.(comp_id t name)
+
+let implement t ~comp ~entry impl =
+  let c = comp_runtime t comp in
+  if
+    not
+      (Array.exists
+         (fun (e : Firmware.entry) -> e.Firmware.entry_name = entry)
+         c.layout.Loader.lc_entries)
+  then invalid_arg (Printf.sprintf "compartment %s has no entry %s" comp entry);
+  c.impls <- (entry, impl) :: List.remove_assoc entry c.impls
+
+let implement1 t ~comp ~entry f =
+  implement t ~comp ~entry (fun ctx args -> (f ctx args, Cap.null))
+
+let set_error_handler t ~comp h =
+  let c = comp_runtime t comp in
+  let fw_comp = Option.get (Firmware.find_compartment (firmware t) comp) in
+  if not fw_comp.Firmware.has_error_handler then
+    invalid_arg
+      (Printf.sprintf
+         "compartment %s did not declare an error handler in the firmware" comp);
+  c.on_error <- Some h
+
+(* Helpers *)
+
+let comp_of_code_addr t addr =
+  let found = ref None in
+  Array.iter
+    (fun c ->
+      let l = c.layout in
+      if addr >= l.Loader.lc_code_base && addr < l.Loader.lc_code_base + l.Loader.lc_code_size
+      then found := Some (c, (addr - l.Loader.lc_code_base) / 4))
+    t.comps;
+  !found
+
+let pad_sentry t =
+  let kind =
+    if Machine.irq_enabled t.machine then Cap.Otype.Return_enable
+    else Cap.Otype.Return_disable
+  in
+  Cap.exn (Cap.seal_entry t.pad_exec kind)
+
+let poison t ~comp b = (comp_runtime t comp).poisoned <- b
+let is_poisoned t ~comp = (comp_runtime t comp).poisoned
+
+let note_reboot t ~comp =
+  let c = comp_runtime t comp in
+  c.reboots <- c.reboots + 1
+
+let reboot_count t ~comp = (comp_runtime t comp).reboots
+
+let snapshot_globals t ~comp =
+  let c = comp_runtime t comp in
+  let l = c.layout in
+  if l.Loader.lc_globals_size > 0 then begin
+    let mem = Machine.mem t.machine in
+    let buf = Buffer.create l.Loader.lc_globals_size in
+    for i = 0 to l.Loader.lc_globals_size - 1 do
+      Buffer.add_char buf
+        (Char.chr (Memory.load_priv mem ~addr:(l.Loader.lc_globals_base + i) ~size:1))
+    done;
+    c.snapshot <- Some (Buffer.contents buf)
+  end
+
+let restore_globals t ~comp =
+  let c = comp_runtime t comp in
+  match c.snapshot with
+  | None -> ()
+  | Some s ->
+      let l = c.layout in
+      Machine.tick t.machine (String.length s / 8 * Cost.mem_cap);
+      Memory.zero_priv (Machine.mem t.machine) ~addr:l.Loader.lc_globals_base
+        ~len:l.Loader.lc_globals_size;
+      Memory.blit_string_priv (Machine.mem t.machine) ~addr:l.Loader.lc_globals_base s
+
+(* Ephemeral claims: two hazard slots per thread, cleared at the next
+   compartment call (§3.2.5). *)
+
+let ephemeral_claim ctx v =
+  let th = ctx.kernel.threads.(ctx.thread_id) in
+  (* Switcher hazard-slot update: Table 3 reports 182 cycles. *)
+  Machine.tick ctx.kernel.machine (170 + (2 * Cost.mem_cap));
+  th.hazards <- (match th.hazards with [] -> [ v ] | h :: _ -> [ v; h ])
+
+let ephemeral_claims t ~thread = t.threads.(thread).hazards
+
+(* Trusted-stack native manipulation (trap path). *)
+
+let ts_load t th ~off ~size =
+  Memory.load_priv (Machine.mem t.machine)
+    ~addr:(th.tlayout.Loader.lt_tstack_base + off) ~size
+
+let ts_store t th ~off ~size v =
+  Memory.store_priv (Machine.mem t.machine)
+    ~addr:(th.tlayout.Loader.lt_tstack_base + off) ~size v
+
+(* Forced unwind: pop the top trusted frame, zero the callee's stack
+   window and the frame itself.  The switcher would do this in its trap
+   path; we model it natively with charged costs. *)
+let forced_unwind t th =
+  let mem = Machine.mem t.machine in
+  let tsb = th.tlayout.Loader.lt_tstack_base in
+  let tsp = ts_load t th ~off:Abi.ts_tsp ~size:4 in
+  assert (tsp > Abi.ts_frames);
+  let fr = tsb + tsp - Abi.frame_size in
+  let min_stack = Memory.load_priv mem ~addr:(fr + Abi.frame_min_stack) ~size:4 in
+  let caller_csp = Memory.load_cap_priv mem ~addr:(fr + Abi.frame_caller_csp) in
+  let top = Cap.address caller_csp in
+  if min_stack > 0 then begin
+    Machine.tick t.machine (min_stack / 8 * Cost.mem_cap);
+    Memory.zero_priv mem ~addr:(top - min_stack) ~len:min_stack
+  end;
+  Memory.zero_priv mem ~addr:fr ~len:Abi.frame_size;
+  ts_store t th ~off:Abi.ts_tsp ~size:4 (tsp - Abi.frame_size);
+  Machine.tick t.machine Cost.forced_unwind
+
+let fault_info_of ~comp ~thread cause addr =
+  { fault_cause = cause; fault_addr = addr; fault_comp = comp; fault_thread = thread }
+
+(* The compartment-call dance: native -> interpreted switcher -> native
+   callee -> interpreted switcher return -> native. *)
+
+let rec do_call t ~tid ~csp ~cgp ~sealed args =
+  let interp = t.interp in
+  let th = t.threads.(tid) in
+  th.hazards <- [];
+  Interp.set_special interp Isa.mtdc th.tlayout.Loader.lt_tstack;
+  let regs = Interp.regs interp in
+  Array.fill regs 0 16 Cap.null;
+  regs.(Isa.ct2) <- sealed;
+  regs.(Isa.ra) <- pad_sentry t;
+  regs.(Isa.csp) <- csp;
+  regs.(Isa.cgp) <- cgp;
+  List.iteri (fun i a -> if i < 6 then regs.(Isa.ca0 + i) <- a) args;
+  match Interp.run interp Switcher.call_sentry with
+  | Interp.Exited target -> dispatch t ~tid target
+  | Interp.Trapped { tcause = Interp.Software s; _ } ->
+      if s = "insufficient stack for callee" then Error Insufficient_stack
+      else if s = "trusted stack overflow" then Error Trusted_stack_exhausted
+      else Error Invalid_import
+  | Interp.Trapped _ -> Error Invalid_import
+  | Interp.Halted -> assert false
+
+and dispatch t ~tid target =
+  let addr = Cap.address target in
+  match comp_of_code_addr t addr with
+  | None -> Error Invalid_import
+  | Some (comp, entry_idx) ->
+      let th = t.threads.(tid) in
+      let regs = Interp.regs t.interp in
+      let callee_csp = regs.(Isa.csp) in
+      let callee_cgp = regs.(Isa.cgp) in
+      let ra_callee = regs.(Isa.ra) in
+      let entry = comp.layout.Loader.lc_entries.(entry_idx) in
+      let callee_ctx =
+        {
+          kernel = t;
+          comp_id = comp.layout.Loader.lc_id;
+          thread_id = tid;
+          csp = callee_csp;
+          cgp = callee_cgp;
+        }
+      in
+      if comp.poisoned then begin
+        forced_unwind t th;
+        Error Compartment_poisoned
+      end
+      else begin
+        let impl =
+          match List.assoc_opt entry.Firmware.entry_name comp.impls with
+          | Some f -> f
+          | None ->
+              fun _ _ ->
+                failwith
+                  (Printf.sprintf "entry %s.%s has no implementation"
+                     comp.layout.Loader.lc_name entry.Firmware.entry_name)
+        in
+        let args = Array.init entry.Firmware.arity (fun i -> regs.(Isa.ca0 + i)) in
+        match impl callee_ctx args with
+        | r0, r1 -> finish_call t ~tid ~callee_csp ~ra_callee (r0, r1)
+        | exception Memory.Fault f ->
+            handle_callee_fault t ~tid comp callee_ctx
+              (Cap.violation_to_string f.Memory.cause)
+              f.Memory.addr
+        | exception Cap.Derivation v ->
+            handle_callee_fault t ~tid comp callee_ctx
+              (Cap.violation_to_string v) (-1)
+      end
+
+and finish_call t ~tid ~callee_csp ~ra_callee (r0, r1) =
+  let interp = t.interp in
+  let th = t.threads.(tid) in
+  Interp.set_special interp Isa.mtdc th.tlayout.Loader.lt_tstack;
+  let regs = Interp.regs interp in
+  Array.fill regs 0 16 Cap.null;
+  regs.(Isa.ca0) <- r0;
+  regs.(Isa.ca1) <- r1;
+  regs.(Isa.csp) <- callee_csp;
+  match Interp.run interp ra_callee with
+  | Interp.Exited pad when Cap.address pad = Abi.return_pad ->
+      Ok (regs.(Isa.ca0), regs.(Isa.ca1))
+  | Interp.Exited _ -> failwith "switcher return escaped to unknown address"
+  | Interp.Trapped tr ->
+      failwith (Fmt.str "switcher return path trapped: %a" Interp.pp_trap tr)
+  | Interp.Halted -> assert false
+
+and handle_callee_fault t ~tid comp ctx cause addr =
+  Machine.tick t.machine Cost.trap_entry;
+  let th = t.threads.(tid) in
+  let fi =
+    fault_info_of ~comp:comp.layout.Loader.lc_name ~thread:tid cause addr
+  in
+  (match comp.on_error with
+  | None -> ()
+  | Some handler -> (
+      Machine.tick t.machine Cost.error_handler_dispatch;
+      (* The handler runs in the compartment's own context; a second
+         fault inside it forces the unwind anyway. *)
+      match handler ctx fi with
+      | `Unwind -> ()
+      | exception Memory.Fault _ | exception Cap.Derivation _ -> ()));
+  forced_unwind t th;
+  Error Fault_in_callee
+
+(* Public call API *)
+
+let import_cap ctx name =
+  let t = ctx.kernel in
+  let l = t.comps.(ctx.comp_id).layout in
+  match Loader.import_slot l name with
+  | slot ->
+      Machine.load_cap t.machine ~auth:l.Loader.lc_import_cap
+        ~addr:(Loader.import_slot_addr l slot)
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf
+           "%s does not import %s: not in the import table, not callable"
+           l.Loader.lc_name name)
+
+let call ctx ~import args =
+  let sealed = import_cap ctx import in
+  do_call ctx.kernel ~tid:ctx.thread_id ~csp:ctx.csp ~cgp:ctx.cgp ~sealed args
+
+let call1 ctx ~import args = Result.map fst (call ctx ~import args)
+
+let lib_call ctx ~import args =
+  let t = ctx.kernel in
+  let sentry = import_cap ctx import in
+  Machine.tick t.machine Cost.library_call;
+  match Cap.otype sentry with
+  | Cap.Otype.Sentry _ | Cap.Otype.Unsealed -> (
+      let target = Cap.address sentry in
+      match comp_of_code_addr t target with
+      | Some (lib, entry_idx) when lib.layout.Loader.lc_kind = Firmware.Library ->
+          let entry = lib.layout.Loader.lc_entries.(entry_idx) in
+          let impl =
+            match List.assoc_opt entry.Firmware.entry_name lib.impls with
+            | Some f -> f
+            | None ->
+                fun _ _ ->
+                  failwith
+                    (Printf.sprintf "library entry %s.%s has no implementation"
+                       lib.layout.Loader.lc_name entry.Firmware.entry_name)
+          in
+          (* Library code runs in the *caller's* security context. *)
+          impl ctx (Array.of_list args)
+      | Some _ | None -> invalid_arg ("lib_call: " ^ import ^ " is not a library entry"))
+  | Cap.Otype.Data _ -> invalid_arg ("lib_call: " ^ import ^ " is a sealed data import")
+
+(* Threads *)
+
+let yield _ctx = Effect.perform Eff_yield
+
+let suspend _ctx ?deadline ~register () =
+  Effect.perform (Eff_suspend (deadline, register))
+
+let sleep ctx n =
+  let t = ctx.kernel in
+  let d = Machine.cycles t.machine + n in
+  ignore (suspend ctx ~deadline:d ~register:(fun _ -> ()) ())
+
+let with_interrupts_disabled ctx f =
+  let m = ctx.kernel.machine in
+  let saved = Machine.irq_enabled m in
+  Machine.set_irq_enabled m false;
+  Fun.protect ~finally:(fun () -> Machine.set_irq_enabled m saved) f
+
+let stack_watermark t ~thread = t.threads.(thread).watermark
+
+let note_stack_use ctx n =
+  let th = ctx.kernel.threads.(ctx.thread_id) in
+  let cur = Cap.address ctx.csp - n in
+  if cur < th.watermark then th.watermark <- cur;
+  { ctx with csp = Cap.exn (Cap.with_address ctx.csp cur) }
+
+let stack_alloc ctx n =
+  let n = (n + 7) / 8 * 8 in
+  let ctx = note_stack_use ctx n in
+  let buf =
+    Cap.exn (Cap.set_bounds (Cap.exn (Cap.with_address ctx.csp (Cap.address ctx.csp))) ~length:n)
+  in
+  (ctx, buf)
+
+(* Scheduler *)
+
+let sealed_export_for t comp entry =
+  let l = (comp_runtime t comp).layout in
+  let idx =
+    let rec go i =
+      if l.Loader.lc_entries.(i).Firmware.entry_name = entry then i else go (i + 1)
+    in
+    go 0
+  in
+  let sram_base = Machine.sram_base t.machine in
+  let root =
+    Cap.make_root ~base:sram_base
+      ~top:(sram_base + Machine.sram_size t.machine)
+      ~perms:Perm.Set.universe
+  in
+  let c =
+    Cap.exn
+      (Cap.set_bounds
+         (Cap.with_address_exn root l.Loader.lc_export_base)
+         ~length:l.Loader.lc_export_size)
+  in
+  let c =
+    Cap.with_address_exn c
+      (Abi.export_entry_addr ~table_base:l.Loader.lc_export_base ~index:idx)
+  in
+  Cap.exn (Cap.seal ~key:t.loader.Loader.switcher_key c)
+
+let thread_body t th () =
+  let tl = th.tlayout in
+  let sealed = sealed_export_for t tl.Loader.lt_comp tl.Loader.lt_entry in
+  ignore (do_call t ~tid:th.tid ~csp:tl.Loader.lt_stack ~cgp:Cap.null ~sealed [])
+
+let handler t th =
+  {
+    Effect.Deep.retc = (fun () -> th.state <- Finished);
+    exnc =
+      (fun e ->
+        th.state <- Finished;
+        match e with
+        | Thread_exit -> ()
+        | Memory.Fault f ->
+            (* A fault with no enclosing compartment frame kills the
+               thread (it unwound out of its root call). *)
+            Logs.warn (fun m ->
+                m "thread %s died: %s" th.tlayout.Loader.lt_name
+                  (Memory.fault_to_string f))
+        | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Eff_yield ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                th.state <- Ready;
+                th.wake_value <- Woken 0;
+                th.resume <- Some (fun _ -> Effect.Deep.continue k ()))
+        | Eff_suspend (deadline, register) ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                th.state <- Blocked;
+                th.deadline <- deadline;
+                th.resume <- Some (fun reason -> Effect.Deep.continue k reason);
+                let fired = ref false in
+                register (fun reason ->
+                    if (not !fired) && th.state = Blocked then begin
+                      fired := true;
+                      th.deadline <- None;
+                      th.wake_value <- reason;
+                      th.state <- Ready;
+                      true
+                    end
+                    else false);
+                ignore t)
+        | _ -> None);
+  }
+
+(* Highest priority wins; equal priorities round-robin, starting after
+   the thread that ran last. *)
+let pick_ready t =
+  let n = Array.length t.threads in
+  if n = 0 then None
+  else begin
+    let best_prio = ref min_int in
+    Array.iter
+      (fun th ->
+        if th.state = Ready && th.tlayout.Loader.lt_priority > !best_prio then
+          best_prio := th.tlayout.Loader.lt_priority)
+      t.threads;
+    if !best_prio = min_int then None
+    else begin
+      let start = match t.last_ran with Some i -> i + 1 | None -> 0 in
+      let rec scan k =
+        if k >= n then None
+        else
+          let th = t.threads.((start + k) mod n) in
+          if th.state = Ready && th.tlayout.Loader.lt_priority = !best_prio then
+            Some th
+          else scan (k + 1)
+      in
+      scan 0
+    end
+  end
+
+let charge_switch t =
+  t.switches <- t.switches + 1;
+  Machine.tick t.machine
+    (Cost.trap_entry + (2 * Cost.register_spill) + Cost.sched_decision)
+
+let run_one t th =
+  (match t.last_ran with
+  | Some last when last = th.tid -> ()
+  | Some _ | None -> charge_switch t);
+  t.last_ran <- Some th.tid;
+  t.current <- Some th.tid;
+  th.state <- Running;
+  Machine.set_timer t.machine (Some (Machine.cycles t.machine + t.quantum));
+  (if not th.started then begin
+     th.started <- true;
+     Effect.Deep.match_with (thread_body t th) () (handler t th)
+   end
+   else
+     match th.resume with
+     | Some r ->
+         th.resume <- None;
+         r th.wake_value
+     | None -> th.state <- Finished);
+  t.current <- None;
+  Machine.set_timer t.machine None
+
+let wake_timeouts t =
+  let now = Machine.cycles t.machine in
+  Array.iter
+    (fun th ->
+      match (th.state, th.deadline) with
+      | Blocked, Some d when d <= now ->
+          th.deadline <- None;
+          th.wake_value <- Timed_out;
+          th.state <- Ready
+      | _ -> ())
+    t.threads
+
+let next_deadline t =
+  Array.fold_left
+    (fun acc th ->
+      match (th.state, th.deadline) with
+      | Blocked, Some d -> (
+          match acc with Some a -> Some (min a d) | None -> Some d)
+      | _ -> acc)
+    None t.threads
+
+let run ?until_cycles t =
+  let m = t.machine in
+  let over () =
+    match until_cycles with Some c -> Machine.cycles m >= c | None -> false
+  in
+  let rec loop () =
+    if t.stop || over () then ()
+    else begin
+      wake_timeouts t;
+      match pick_ready t with
+      | Some th ->
+          run_one t th;
+          loop ()
+      | None ->
+          let alive = Array.exists (fun th -> th.state <> Finished) t.threads in
+          if not alive then ()
+          else begin
+            let target =
+              match next_deadline t with
+              | Some d -> Some (max d (Machine.cycles m + 1))
+              | None ->
+                  if Machine.revoker_busy m then Some (Machine.cycles m + 256)
+                  else None
+            in
+            match target with
+            | Some d ->
+                let now = Machine.cycles m in
+                let d =
+                  match until_cycles with Some c -> min d (max (now + 1) c) | None -> d
+                in
+                (* Advance in bounded chunks: simulated devices (tick
+                   listeners) may raise interrupts that make a thread
+                   runnable before the deadline. *)
+                let chunk = 4096 in
+                let stop_early = ref false in
+                while (not !stop_early) && Machine.cycles m < d do
+                  let step = min chunk (d - Machine.cycles m) in
+                  t.idle <- t.idle + step;
+                  Machine.tick m step;
+                  wake_timeouts t;
+                  if pick_ready t <> None then stop_early := true
+                done;
+                loop ()
+            | None ->
+                failwith "scheduler: all threads blocked with nothing to wake them"
+          end
+    end
+  in
+  loop ()

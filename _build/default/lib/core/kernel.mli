@@ -1,0 +1,187 @@
+(** The CHERIoT RTOS kernel runtime: boots a firmware image, dispatches
+    compartment calls through the interpreted switcher, routes traps to
+    compartment error handlers, and schedules the static threads.
+
+    Execution model (see DESIGN.md): compartment bodies are OCaml
+    closures registered against firmware entry points.  A compartment
+    call places the sealed import capability and arguments in the
+    interpreter's registers and jumps through the switcher's sentry; the
+    interpreted switcher performs the real work (unseal, trusted-stack
+    frame, stack truncation and zeroing, register clearing) against
+    simulated memory, then jumps to the callee's native trampoline
+    address, at which point the kernel runs the registered closure.  The
+    return path re-enters the switcher.  Thread context switches and trap
+    unwinding are native with modelled costs.
+
+    Threads are OCaml effect handlers: kernel primitives ([yield],
+    [sleep], [suspend]) perform effects that return control to the
+    scheduler loop.  Preemption is driven by the machine timer. *)
+
+type t
+
+type value = Capability.t
+(** Argument/return values are capabilities; plain integers travel as
+    NULL-derived untagged capabilities ({!Interp.int_value}). *)
+
+(** Execution context handed to every compartment entry: the identity of
+    the current protection domain. *)
+type ctx = {
+  kernel : t;
+  comp_id : int;
+  thread_id : int;
+  csp : value;  (** stack capability of the running call *)
+  cgp : value;  (** globals capability of the current compartment *)
+}
+
+type fault_info = {
+  fault_cause : string;
+  fault_addr : int;
+  fault_comp : string;
+  fault_thread : int;
+}
+
+exception Thread_exit
+
+type entry_impl = ctx -> value array -> value * value
+(** May raise {!Memory.Fault} / {!Capability.Derivation}: those are CHERI
+    traps, handled by the switcher path. *)
+
+type error_handler = ctx -> fault_info -> [ `Unwind ]
+(** Global error handler (§3.2.6): runs in the compartment's context with
+    a description of the fault; may repair state or trigger a
+    micro-reboot, then the thread unwinds to the caller. *)
+
+type call_error =
+  | Fault_in_callee  (** callee trapped; unwound out of the compartment *)
+  | Invalid_import  (** sealed capability refused by the switcher *)
+  | Insufficient_stack  (** §3.2.5 entry stack requirement not met *)
+  | Trusted_stack_exhausted
+  | Compartment_poisoned  (** target is being micro-rebooted *)
+
+val pp_call_error : call_error Fmt.t
+
+(* Boot *)
+
+val boot :
+  ?loader_size:int ->
+  ?quantum:int ->
+  machine:Machine.t ->
+  Firmware.t ->
+  (t, string) result
+(** Run the loader, erase it, and prepare the runtime.  [quantum] is the
+    preemption timeslice in cycles (default 2000). *)
+
+val machine : t -> Machine.t
+val interp : t -> Interp.t
+val loader : t -> Loader.t
+val firmware : t -> Firmware.t
+
+val implement : t -> comp:string -> entry:string -> entry_impl -> unit
+(** Attach the closure for a firmware entry point.  Raises
+    [Invalid_argument] for unknown compartments/entries. *)
+
+val implement1 : t -> comp:string -> entry:string -> (ctx -> value array -> value) -> unit
+(** Single-return convenience. *)
+
+val set_error_handler : t -> comp:string -> error_handler -> unit
+(** Raises [Invalid_argument] if the firmware did not declare
+    [error_handler] for this compartment (the export-table flag is set by
+    the loader and audited). *)
+
+val comp_id : t -> string -> int
+val comp_name : t -> int -> string
+
+(* Compartment and library calls *)
+
+val call :
+  ctx -> import:string -> value list -> (value * value, call_error) result
+(** Cross-compartment call through the named import-table slot. *)
+
+val call1 : ctx -> import:string -> value list -> (value, call_error) result
+
+val lib_call : ctx -> import:string -> value list -> value * value
+(** Shared-library call (§3): a sentry jump within the caller's security
+    domain — no switcher, no stack zeroing; faults propagate to the
+    *caller's* handler.  The import must be a [Lib_call] slot. *)
+
+(* Threads and scheduling primitives *)
+
+type wake_reason = Woken of int | Timed_out
+
+val yield : ctx -> unit
+val sleep : ctx -> int -> unit
+(** Sleep for a number of cycles. *)
+
+val suspend :
+  ctx -> ?deadline:int -> register:((wake_reason -> bool) -> unit) -> unit ->
+  wake_reason
+(** Block the current thread.  [register] receives the waker exactly
+    once; calling the waker makes the thread runnable and returns [true];
+    later calls (or calls after a timeout won) return [false].  If
+    [deadline] (absolute cycles) passes first, the thread wakes with
+    [Timed_out].  Foundation for futexes (§3.2.4). *)
+
+val current_thread : t -> int option
+val thread_count : t -> int
+val thread_name : t -> int -> string
+
+val run : ?until_cycles:int -> t -> unit
+(** Start every firmware thread at its entry point and run the scheduler
+    until all threads finish (or the cycle limit passes).  Raises
+    [Failure] on all-threads-deadlocked. *)
+
+val idle_cycles : t -> int
+(** Cycles spent with no runnable thread — the basis of the CPU-load
+    measurements of Fig. 7. *)
+
+val context_switches : t -> int
+
+(* Ephemeral claims (switcher hazard slots, §3.2.5) *)
+
+val ephemeral_claim : ctx -> value -> unit
+(** Hold the object against free until the thread's next compartment
+    call or ephemeral claim set. *)
+
+val ephemeral_claims : t -> thread:int -> value list
+(** Read by the allocator when deciding whether an object may be freed. *)
+
+(* Error handling, micro-reboot support (§3.2.6) *)
+
+val snapshot_globals : t -> comp:string -> unit
+(** Record the compartment's global data for later [restore_globals]
+    (compile-time snapshot in the paper). *)
+
+val restore_globals : t -> comp:string -> unit
+
+val poison : t -> comp:string -> bool -> unit
+(** While poisoned, compartment calls into [comp] fail with
+    [Compartment_poisoned] — the guard used while micro-rebooting. *)
+
+val is_poisoned : t -> comp:string -> bool
+
+val note_reboot : t -> comp:string -> unit
+(** Record a completed micro-reboot (kept per compartment). *)
+
+val reboot_count : t -> comp:string -> int
+
+(* Interrupt plumbing for the scheduler compartment *)
+
+val add_irq_handler : t -> (int -> unit) -> unit
+(** Called (with interrupts disabled) for each delivered interrupt. *)
+
+(* Introspection for benches *)
+
+val with_interrupts_disabled : ctx -> (unit -> 'a) -> 'a
+val stack_watermark : t -> thread:int -> int
+(** Lowest stack address observed for the thread (§3.2.5 tooling). *)
+
+val note_stack_use : ctx -> int -> ctx
+(** Model the current call using [n] bytes of stack: returns a context
+    whose [csp] cursor is lowered (affects nested calls' available
+    stack and the watermark). *)
+
+val stack_alloc : ctx -> int -> ctx * value
+(** Carve an [n]-byte buffer out of the current stack frame: lowers the
+    stack cursor (so nested compartment calls — and their stack-window
+    zeroing — stay below it) and returns the new context plus an exactly
+    bounded capability to the buffer. *)

@@ -1,0 +1,72 @@
+type steps = {
+  wake_blocked : unit -> unit;
+  release_heap : unit -> unit;
+  reset_state : unit -> unit;
+}
+
+let reboot_cycles = ref 50_000
+
+let count k ~comp = Kernel.reboot_count k ~comp
+
+(* Rate limiting: per-compartment reboot timestamps and budgets.  Keyed
+   by compartment name; budgets are per-kernel in practice since tests
+   create fresh kernels (names rarely collide across live kernels, and a
+   stale entry only makes the limiter stricter). *)
+type limiter = {
+  l_max : int;
+  l_window : int;
+  mutable l_history : int list;  (** reboot timestamps, newest first *)
+  mutable l_locked : bool;
+}
+
+let limiters : (string, limiter) Hashtbl.t = Hashtbl.create 8
+
+let set_rate_limit _k ~comp ~max_reboots ~window =
+  Hashtbl.replace limiters comp
+    { l_max = max_reboots; l_window = window; l_history = []; l_locked = false }
+
+let is_locked_out k ~comp =
+  match Hashtbl.find_opt limiters comp with
+  | Some l -> l.l_locked && Kernel.is_poisoned k ~comp
+  | None -> false
+
+let clear_lockout k ~comp =
+  (match Hashtbl.find_opt limiters comp with
+  | Some l ->
+      l.l_locked <- false;
+      l.l_history <- []
+  | None -> ());
+  Kernel.poison k ~comp false
+
+(* Returns true when the compartment may reopen after this reboot. *)
+let note_and_check ctx comp =
+  match Hashtbl.find_opt limiters comp with
+  | None -> true
+  | Some l ->
+      let now = Machine.cycles (Kernel.machine ctx.Kernel.kernel) in
+      l.l_history <-
+        now :: List.filter (fun t -> now - t <= l.l_window) l.l_history;
+      if List.length l.l_history > l.l_max then begin
+        l.l_locked <- true;
+        false
+      end
+      else true
+
+let perform ctx ~comp steps =
+  let k = ctx.Kernel.kernel in
+  (* Step 1: close the guard — calls into the compartment now fail with
+     [Compartment_poisoned] instead of reaching stale state. *)
+  Kernel.poison k ~comp true;
+  (* Step 2: every parked thread must unwind with an error. *)
+  steps.wake_blocked ();
+  (* Step 3: drop all heap state owned by this compartment. *)
+  steps.release_heap ();
+  (* Step 4: pristine globals + component-specific reset. *)
+  Kernel.restore_globals k ~comp;
+  steps.reset_state ();
+  (* Modelled reset latency, then step 5: reopen. *)
+  Machine.tick (Kernel.machine k) !reboot_cycles;
+  Kernel.note_reboot k ~comp;
+  (* Step 5: reopen — unless the rate limiter says this compartment is
+     being reboot-bombed. *)
+  if note_and_check ctx comp then Kernel.poison k ~comp false

@@ -1,0 +1,12 @@
+let charge ctx n = Machine.tick (Kernel.machine ctx.Kernel.kernel) n
+
+let during ctx body ~handler =
+  charge ctx Cost.setjmp;
+  match body () with
+  | v -> v
+  | exception (Memory.Fault _ | Capability.Derivation _) ->
+      charge ctx (Cost.trap_entry + Cost.longjmp);
+      handler ()
+
+let during_opt ctx body =
+  during ctx (fun () -> Some (body ())) ~handler:(fun () -> None)

@@ -1,0 +1,18 @@
+(** Scoped error handlers (§3.2.6): the DURING {...} HANDLER {...}
+    construct, built on setjmp/longjmp.
+
+    CHERIoT's small register set and the list head at the top of the
+    stack make setjmp just six instructions, so scoped handlers cost
+    almost nothing on the non-error path (Table 3: 87 cycles) and are
+    cheap on the fault path (222 cycles).  Unlike global handlers they do
+    not see the fault cause and cannot resume — the handler simply runs
+    and execution continues after the scope. *)
+
+val during : Kernel.ctx -> (unit -> 'a) -> handler:(unit -> 'a) -> 'a
+(** Run the body; if it raises a CHERI trap ({!Memory.Fault} or
+    {!Capability.Derivation}), run [handler] instead.  Non-trap
+    exceptions propagate.  Scopes nest: an inner scope's handler takes
+    precedence for faults in its body. *)
+
+val during_opt : Kernel.ctx -> (unit -> 'a) -> 'a option
+(** [during] returning None on fault. *)

@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Capability Cost Fmt Isa List Machine Memory Perm

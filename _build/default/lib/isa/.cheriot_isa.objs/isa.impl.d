@@ -1,0 +1,1 @@
+lib/isa/isa.ml: Array Capability Fmt Hashtbl List Printf

@@ -1,0 +1,271 @@
+module Cap = Capability
+
+type segment = { seg_base : int; prog : Isa.program }
+
+type t = {
+  machine : Machine.t;
+  mutable segments : segment list;
+  regs : Cap.t array;
+  specials : Cap.t array;
+  mutable instret : int;
+}
+
+type trap_cause = Cap_fault of Cap.violation | Software of string
+
+type trap = { tcause : trap_cause; tpc : int }
+
+let pp_trap ppf t =
+  let cause =
+    match t.tcause with
+    | Cap_fault v -> Cap.violation_to_string v
+    | Software s -> s
+  in
+  Fmt.pf ppf "trap at 0x%x: %s" t.tpc cause
+
+type outcome = Halted | Exited of Cap.t | Trapped of trap
+
+exception Trap_exn of trap
+
+let create machine =
+  {
+    machine;
+    segments = [];
+    regs = Array.make 16 Cap.null;
+    specials = Array.make 3 Cap.null;
+    instret = 0;
+  }
+
+let machine t = t.machine
+
+let seg_end s = s.seg_base + Isa.code_bytes s.prog
+
+let map_segment t ~base prog =
+  assert (base mod 4 = 0);
+  List.iter
+    (fun s ->
+      if base < seg_end s && base + Isa.code_bytes prog > s.seg_base then
+        invalid_arg "map_segment: overlap")
+    t.segments;
+  t.segments <- { seg_base = base; prog } :: t.segments
+
+let segment_base t name =
+  match List.find_opt (fun s -> Isa.name s.prog = name) t.segments with
+  | Some s -> s.seg_base
+  | None -> invalid_arg ("segment_base: " ^ name)
+
+let regs t = t.regs
+let get_special t i = t.specials.(i)
+let set_special t i c = t.specials.(i) <- c
+let instret t = t.instret
+let int_value v = Cap.exn (Cap.with_address Cap.null v)
+let to_int c = Cap.address c
+
+let find_segment t addr =
+  List.find_opt (fun s -> addr >= s.seg_base && addr < seg_end s) t.segments
+
+let get t r = if r = 0 then Cap.null else t.regs.(r)
+let set t r v = if r <> 0 then t.regs.(r) <- v
+
+let trap pc cause = raise (Trap_exn { tcause = cause; tpc = pc })
+let cap_result pc = function Ok c -> c | Error v -> trap pc (Cap_fault v)
+
+(* Sentry semantics shared by Cjalr and the external entry point: unseal
+   sentries, apply interrupt-posture changes, and compute the backward
+   sentry kind that restores the previous posture. *)
+let apply_jump_target machine pc target =
+  let module O = Cap.Otype in
+  if not (Cap.tag target) then trap pc (Cap_fault Cap.Tag_violation);
+  let prev = Machine.irq_enabled machine in
+  let unsealed =
+    match Cap.otype target with
+    | O.Unsealed -> target
+    | O.Data _ -> trap pc (Cap_fault Cap.Seal_violation)
+    | O.Sentry k ->
+        (match k with
+        | O.Call_inherit -> ()
+        | O.Call_disable | O.Return_disable -> Machine.set_irq_enabled machine false
+        | O.Call_enable | O.Return_enable -> Machine.set_irq_enabled machine true);
+        cap_result pc (Cap.unseal_sentry target)
+  in
+  if not (Cap.has_perm Perm.Execute unsealed) then
+    trap pc (Cap_fault (Cap.Permit_violation Perm.Execute));
+  let back_kind = if prev then O.Return_enable else O.Return_disable in
+  (unsealed, back_kind)
+
+let step t pcc =
+  let pc = Cap.address pcc in
+  let seg =
+    match find_segment t pc with
+    | Some s -> s
+    | None -> trap pc (Cap_fault Cap.Bounds_violation)
+  in
+  (match Cap.check_access ~perm:Perm.Execute ~addr:pc ~size:4 pcc with
+  | Ok () -> ()
+  | Error v -> trap pc (Cap_fault v));
+  let ins =
+    match Isa.fetch seg.prog ((pc - seg.seg_base) / 4) with
+    | Some i -> i
+    | None -> trap pc (Cap_fault Cap.Bounds_violation)
+  in
+  Machine.tick t.machine Cost.instr;
+  t.instret <- t.instret + 1;
+  let m = t.machine in
+  let next = Cap.with_address_exn pcc (pc + 4) in
+  let goto label =
+    Cap.with_address_exn pcc (seg.seg_base + 4 * Isa.label_index seg.prog label)
+  in
+  let iv r = to_int (get t r) in
+  match ins with
+  | Isa.Halt -> `Halt
+  | Isa.Li (rd, v) ->
+      set t rd (int_value v);
+      `Next next
+  | Isa.Mv (rd, rs) ->
+      set t rd (get t rs);
+      `Next next
+  | Isa.Addi (rd, rs, v) ->
+      set t rd (int_value (iv rs + v));
+      `Next next
+  | Isa.Add (rd, a, b) ->
+      set t rd (int_value (iv a + iv b));
+      `Next next
+  | Isa.Sub (rd, a, b) ->
+      set t rd (int_value (iv a - iv b));
+      `Next next
+  | Isa.Andi (rd, rs, v) ->
+      set t rd (int_value (iv rs land v));
+      `Next next
+  | Isa.Beq (a, b, l) -> `Next (if iv a = iv b then goto l else next)
+  | Isa.Bne (a, b, l) -> `Next (if iv a <> iv b then goto l else next)
+  | Isa.Bltu (a, b, l) -> `Next (if iv a < iv b then goto l else next)
+  | Isa.Bgeu (a, b, l) -> `Next (if iv a >= iv b then goto l else next)
+  | Isa.J l -> `Next (goto l)
+  | Isa.Lw (rd, imm, rs) ->
+      let auth = get t rs in
+      let v = Machine.load m ~auth ~addr:(Cap.address auth + imm) ~size:4 in
+      set t rd (int_value v);
+      `Next next
+  | Isa.Sw (rs2, imm, rs1) ->
+      let auth = get t rs1 in
+      Machine.store m ~auth ~addr:(Cap.address auth + imm) ~size:4 (iv rs2);
+      `Next next
+  | Isa.Clc (rd, imm, rs) ->
+      let auth = get t rs in
+      set t rd (Machine.load_cap m ~auth ~addr:(Cap.address auth + imm));
+      `Next next
+  | Isa.Csc (rs2, imm, rs1) ->
+      let auth = get t rs1 in
+      Machine.store_cap m ~auth ~addr:(Cap.address auth + imm) (get t rs2);
+      `Next next
+  | Isa.Cincaddr (rd, a, b) ->
+      set t rd (cap_result pc (Cap.incr_address (get t a) (iv b)));
+      `Next next
+  | Isa.Cincaddrimm (rd, a, v) ->
+      set t rd (cap_result pc (Cap.incr_address (get t a) v));
+      `Next next
+  | Isa.Csetaddr (rd, a, b) ->
+      set t rd (cap_result pc (Cap.with_address (get t a) (iv b)));
+      `Next next
+  | Isa.Csetbounds (rd, a, b) ->
+      set t rd (cap_result pc (Cap.set_bounds (get t a) ~length:(iv b)));
+      `Next next
+  | Isa.Csetboundsimm (rd, a, v) ->
+      set t rd (cap_result pc (Cap.set_bounds (get t a) ~length:v));
+      `Next next
+  | Isa.Candperm (rd, a, mask) ->
+      set t rd (cap_result pc (Cap.and_perms (get t a) (Perm.Set.of_bits mask)));
+      `Next next
+  | Isa.Cgetaddr (rd, a) ->
+      set t rd (int_value (Cap.address (get t a)));
+      `Next next
+  | Isa.Cgetbase (rd, a) ->
+      set t rd (int_value (Cap.base (get t a)));
+      `Next next
+  | Isa.Cgetlen (rd, a) ->
+      set t rd (int_value (Cap.length (get t a)));
+      `Next next
+  | Isa.Cgettag (rd, a) ->
+      set t rd (int_value (if Cap.tag (get t a) then 1 else 0));
+      `Next next
+  | Isa.Cgettype (rd, a) ->
+      let module O = Cap.Otype in
+      let v =
+        match Cap.otype (get t a) with
+        | O.Unsealed -> 0
+        | O.Sentry O.Call_inherit -> 1
+        | O.Sentry O.Call_disable -> 2
+        | O.Sentry O.Call_enable -> 3
+        | O.Sentry O.Return_disable -> 4
+        | O.Sentry O.Return_enable -> 5
+        | O.Data d -> d
+      in
+      set t rd (int_value v);
+      `Next next
+  | Isa.Cgetperm (rd, a) ->
+      set t rd (int_value (Perm.Set.to_bits (Cap.perms (get t a))));
+      `Next next
+  | Isa.Cseal (rd, a, k) ->
+      set t rd (cap_result pc (Cap.seal ~key:(get t k) (get t a)));
+      `Next next
+  | Isa.Cunseal (rd, a, k) ->
+      set t rd (cap_result pc (Cap.unseal ~key:(get t k) (get t a)));
+      `Next next
+  | Isa.Csealentry (rd, a, kind) ->
+      set t rd (cap_result pc (Cap.seal_entry (get t a) kind));
+      `Next next
+  | Isa.Auipcc (rd, l) ->
+      let addr = seg.seg_base + 4 * Isa.label_index seg.prog l in
+      set t rd (cap_result pc (Cap.with_address pcc addr));
+      `Next next
+  | Isa.Cjalr (rd, rs) ->
+      let target = get t rs in
+      let unsealed, back_kind = apply_jump_target m pc target in
+      if rd <> 0 then begin
+        let link = Cap.exn (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) back_kind) in
+        set t rd link
+      end;
+      `Jump unsealed
+  | Isa.Cjal (rd, l) ->
+      if rd <> 0 then begin
+        let kind =
+          if Machine.irq_enabled m then Cap.Otype.Return_enable
+          else Cap.Otype.Return_disable
+        in
+        set t rd (Cap.exn (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) kind))
+      end;
+      `Next (goto l)
+  | Isa.Cspecialrw (rd, idx, rs) ->
+      if not (Cap.has_perm Perm.System_registers pcc) then
+        trap pc (Cap_fault (Cap.Permit_violation Perm.System_registers));
+      let old = t.specials.(idx) in
+      if rs <> 0 then t.specials.(idx) <- get t rs;
+      set t rd old;
+      `Next next
+  | Isa.Ccleartag (rd, a) ->
+      set t rd (Cap.clear_tag (get t a));
+      `Next next
+  | Isa.Trapif cause -> trap pc (Software cause)
+
+let run ?(fuel = 1_000_000) t target =
+  let rec loop pcc budget =
+    if budget <= 0 then
+      Trapped { tcause = Software "out of fuel"; tpc = Cap.address pcc }
+    else
+      match step t pcc with
+      | `Halt -> Halted
+      | `Next pcc' -> loop pcc' (budget - 1)
+      | `Jump target -> (
+          match find_segment t (Cap.address target) with
+          | Some _ -> loop target (budget - 1)
+          | None -> Exited target)
+  in
+  try
+    let unsealed, _ = apply_jump_target t.machine (Cap.address target) target in
+    match find_segment t (Cap.address unsealed) with
+    | None -> Exited unsealed
+    | Some _ -> loop unsealed fuel
+  with
+  | Trap_exn tr -> Trapped tr
+  | Memory.Fault f ->
+      Trapped { tcause = Cap_fault f.Memory.cause; tpc = f.Memory.addr }
+  | Cap.Derivation v -> Trapped { tcause = Cap_fault v; tpc = -1 }

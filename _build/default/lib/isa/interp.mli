@@ -1,0 +1,63 @@
+(** Interpreter for the {!Isa} subset, executing against a {!Machine}.
+
+    Interpreted code (the switcher, test programs) lives in code segments
+    — instruction arrays mapped at addresses outside SRAM, as firmware
+    executed in place.  A jump whose target address falls outside every
+    segment leaves the interpreter ([Exited]); the kernel uses such
+    addresses as native trampolines for compartment entry points written
+    in OCaml.
+
+    Each executed instruction charges {!Cost.instr} plus memory costs.
+    CHERI violations become [Trapped] outcomes carrying the faulting PC,
+    exactly where the hardware would trap. *)
+
+type t
+
+val create : Machine.t -> t
+val machine : t -> Machine.t
+
+val map_segment : t -> base:int -> Isa.program -> unit
+(** Map a program at [base] (4 bytes per instruction).  Overlap is a
+    programming error. *)
+
+val segment_base : t -> string -> int
+(** Base address of a mapped program, by name. *)
+
+val regs : t -> Capability.t array
+(** The 16 merged registers.  Register 0 reads as NULL; writes to it are
+    discarded. *)
+
+val get_special : t -> int -> Capability.t
+val set_special : t -> int -> Capability.t -> unit
+(** Direct access to special capability registers (reset/loader only;
+    running code must use [Cspecialrw], which demands
+    [Perm.System_registers]). *)
+
+val instret : t -> int
+(** Instructions retired since [create]. *)
+
+val int_value : int -> Capability.t
+(** An integer as a NULL-derived untagged capability. *)
+
+val to_int : Capability.t -> int
+(** Read a register value as an integer (its cursor). *)
+
+type trap_cause = Cap_fault of Capability.violation | Software of string
+
+type trap = { tcause : trap_cause; tpc : int }
+
+val pp_trap : trap Fmt.t
+
+type outcome =
+  | Halted  (** executed [Halt] *)
+  | Exited of Capability.t
+      (** jumped to an address outside every segment; the capability is
+          the (unsealed) jump target with posture applied *)
+  | Trapped of trap
+
+val run : ?fuel:int -> t -> Capability.t -> outcome
+(** Jump to the capability (applying sentry semantics: data-sealed
+    targets trap, sentries unseal and may switch the interrupt posture)
+    and interpret until an outcome is reached.  [fuel] bounds the number
+    of instructions (default 1_000_000) and exceeding it is a [Software]
+    trap. *)

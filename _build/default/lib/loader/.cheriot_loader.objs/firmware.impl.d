@@ -1,0 +1,1 @@
+lib/loader/firmware.ml: Fmt List Printf Result

@@ -1,0 +1,1 @@
+lib/loader/loader.ml: Abi Array Capability Firmware Hashtbl Interp Isa List Machine Memory Option Perm Printf Result Switcher

@@ -1,0 +1,1 @@
+lib/loader/loader.mli: Capability Firmware Interp Machine

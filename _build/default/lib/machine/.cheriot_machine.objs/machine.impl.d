@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Bytes Capability Char Cost Fun List Memory Perm

@@ -1,0 +1,1 @@
+lib/machine/membuf.ml: Capability Char Machine Memory Perm String

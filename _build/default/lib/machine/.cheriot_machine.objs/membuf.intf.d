@@ -1,0 +1,1 @@
+lib/machine/membuf.mli: Capability Machine

@@ -1,0 +1,55 @@
+(** Cycle-cost model of the simulated CHERIoT core.
+
+    The paper's Ibex-based implementation is a small in-order core; we
+    charge deterministic costs per architectural event.  All constants are
+    collected here so that calibration (matching the shapes of Fig. 6 and
+    Table 3) is a one-file affair.  Costs are in cycles. *)
+
+val instr : int
+(** Base cost of one executed instruction. *)
+
+val mem_word : int
+(** Extra cost of a 32-bit data memory access. *)
+
+val mem_cap : int
+(** Extra cost of a capability (64-bit) access: the 33-bit memory bus
+    needs two beats per capability (§5.3, hardware performance). *)
+
+val mmio : int
+(** Extra cost of a device register access. *)
+
+val trap_entry : int
+(** Trap vectoring into the switcher: pipeline flush + vector fetch. *)
+
+val register_spill : int
+(** Spilling or restoring the 15-register file to the register save area
+    (15 capability stores plus loop overhead). *)
+
+val sched_decision : int
+(** Native scheduler bookkeeping on a context switch (run-queue update,
+    priority scan); a property of the core OS code. *)
+
+val error_handler_dispatch : int
+(** Locating and preparing a compartment's global error handler. *)
+
+val forced_unwind : int
+(** Switcher forced unwind to the caller (§3.2.6, default policy). *)
+
+val setjmp : int
+(** Scoped handler entry: six instructions (§3.2.6) plus stores. *)
+
+val longjmp : int
+(** Scoped handler fault path: restore four registers and jump. *)
+
+val revoker_cycles_per_granule : int
+(** Background revoker sweep rate.  The paper's footnote gives ~1.5 ms
+    per 1 MiB at 250 MHz (~3 cycles/granule) for "a simple revoker" on a
+    fast chip; the 33 MHz Arty evaluation platform's revoker is slower
+    relative to the core — calibrated so that the Fig. 6b regimes fall
+    where the paper's do. *)
+
+val native_call : int
+(** Plain function call within a compartment (baseline of Fig. 6a). *)
+
+val library_call : int
+(** Shared-library call: sentry jump + return (no domain switch). *)

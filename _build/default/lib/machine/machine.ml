@@ -1,0 +1,230 @@
+module Cap = Capability
+
+module Device = struct
+  type t = {
+    name : string;
+    read : addr:int -> size:int -> int;
+    write : addr:int -> size:int -> int -> unit;
+  }
+
+  let ram ~name ~size =
+    let store = Bytes.make size '\000' in
+    let read ~addr ~size:sz =
+      let rec go acc i =
+        if i < 0 then acc
+        else go ((acc lsl 8) lor Char.code (Bytes.get store (addr + i))) (i - 1)
+      in
+      if addr + sz <= size then go 0 (sz - 1) else 0
+    in
+    let write ~addr ~size:sz v =
+      if addr + sz <= size then
+        for i = 0 to sz - 1 do
+          Bytes.set store (addr + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+        done
+    in
+    { name; read; write }
+end
+
+type region = { dev : Device.t; dev_base : int; dev_size : int }
+
+type revoker_state = Idle | Sweeping of { mutable next : int; mutable debt : int }
+
+type t = {
+  mem : Memory.t;
+  mutable cycles : int;
+  mutable irq_enabled : bool;
+  mutable pending : int;
+  mutable hook : (int -> unit) option;
+  mutable post_tick : (unit -> unit) option;
+  mutable tick_listeners : (int -> unit) list;
+  mutable delivering : bool;
+  mutable timer_deadline : int option;
+  mutable regions : region list;
+  mutable rev_state : revoker_state;
+  mutable rev_epoch : int;
+  mutable rev_rate : int;
+  rev_futex : int ref;
+}
+
+let timer_irq = 0
+let revoker_irq = 1
+let ethernet_irq = 2
+let first_user_irq = 3
+let clock_mhz = 33
+let seconds_of_cycles c = float_of_int c /. (float_of_int clock_mhz *. 1e6)
+
+let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
+  {
+    mem = Memory.create ~base:sram_base ~size:sram_size;
+    cycles = 0;
+    irq_enabled = true;
+    pending = 0;
+    hook = None;
+    post_tick = None;
+    tick_listeners = [];
+    delivering = false;
+    timer_deadline = None;
+    regions = [];
+    rev_state = Idle;
+    rev_epoch = 0;
+    rev_rate = Cost.revoker_cycles_per_granule;
+    rev_futex = ref 0;
+  }
+
+let mem m = m.mem
+let sram_base m = Memory.base m.mem
+let sram_size m = Memory.size m.mem
+let cycles m = m.cycles
+let irq_enabled m = m.irq_enabled
+let set_irq_enabled m b = m.irq_enabled <- b
+let raise_irq m n = m.pending <- m.pending lor (1 lsl n)
+let pending m n = m.pending land (1 lsl n) <> 0
+let set_deliver_hook m h = m.hook <- h
+let set_post_tick_hook m h = m.post_tick <- h
+let add_tick_listener m f = m.tick_listeners <- m.tick_listeners @ [ f ]
+let set_timer m d = m.timer_deadline <- d
+let revoker_epoch m = m.rev_epoch
+let revoker_busy m = match m.rev_state with Idle -> false | Sweeping _ -> true
+let revoker_interrupt_futex_word m = m.rev_futex
+let set_revoker_rate m ~cycles_per_granule = m.rev_rate <- cycles_per_granule
+
+let revoker_kick m =
+  match m.rev_state with
+  | Sweeping _ -> ()
+  | Idle -> m.rev_state <- Sweeping { next = 0; debt = 0 }
+
+(* Progress the background revoker by [n] cycles of wall time. *)
+let revoker_advance m n =
+  match m.rev_state with
+  | Idle -> ()
+  | Sweeping s ->
+      s.debt <- s.debt + n;
+      let steps = s.debt / m.rev_rate in
+      s.debt <- s.debt mod m.rev_rate;
+      let total = Memory.granule_count m.mem in
+      let remaining = total - s.next in
+      let take = min steps remaining in
+      for g = s.next to s.next + take - 1 do
+        ignore (Memory.sweep_granule m.mem g)
+      done;
+      s.next <- s.next + take;
+      if s.next >= total then begin
+        m.rev_state <- Idle;
+        m.rev_epoch <- m.rev_epoch + 1;
+        incr m.rev_futex;
+        raise_irq m revoker_irq
+      end
+
+let deliver m =
+  match m.hook with
+  | None -> ()
+  | Some hook ->
+      if m.irq_enabled && (not m.delivering) && m.pending <> 0 then begin
+        m.delivering <- true;
+        Fun.protect
+          ~finally:(fun () -> m.delivering <- false)
+          (fun () ->
+            let rec drain () =
+              if m.irq_enabled && m.pending <> 0 then begin
+                (* lowest set bit first *)
+                let rec first i =
+                  if m.pending land (1 lsl i) <> 0 then i else first (i + 1)
+                in
+                let n = first 0 in
+                m.pending <- m.pending land lnot (1 lsl n);
+                hook n;
+                drain ()
+              end
+            in
+            drain ())
+      end
+
+let tick m n =
+  if n > 0 then begin
+    m.cycles <- m.cycles + n;
+    revoker_advance m n;
+    List.iter (fun f -> f m.cycles) m.tick_listeners;
+    (match m.timer_deadline with
+    | Some d when m.cycles >= d ->
+        m.timer_deadline <- None;
+        raise_irq m timer_irq
+    | Some _ | None -> ());
+    deliver m;
+    match m.post_tick with None -> () | Some f -> f ()
+  end
+
+let run_revoker_to_completion m =
+  while revoker_busy m do
+    tick m 64
+  done
+
+(* MMIO dispatch *)
+
+let add_device m ~base ~size dev =
+  m.regions <- { dev; dev_base = base; dev_size = size } :: m.regions
+
+let device_regions m =
+  List.rev_map (fun r -> (r.dev.Device.name, r.dev_base, r.dev_size)) m.regions
+
+let find_device m name =
+  List.find_map
+    (fun r -> if r.dev.Device.name = name then Some (r.dev_base, r.dev_size) else None)
+    m.regions
+
+let region_of m addr =
+  List.find_opt
+    (fun r -> addr >= r.dev_base && addr < r.dev_base + r.dev_size)
+    m.regions
+
+let check ~auth ~perm ~addr ~size access =
+  match Cap.check_access ~perm ~addr ~size auth with
+  | Ok () -> ()
+  | Error cause -> raise (Memory.Fault { Memory.cause; addr; access })
+
+let load m ~auth ~addr ~size =
+  check ~auth ~perm:Perm.Load ~addr ~size Memory.Read;
+  if Memory.contains m.mem addr then begin
+    tick m Cost.mem_word;
+    Memory.load ~auth m.mem ~addr ~size
+  end
+  else
+    match region_of m addr with
+    | Some r ->
+        check ~auth ~perm:Perm.Load ~addr ~size Memory.Read;
+        tick m Cost.mmio;
+        r.dev.Device.read ~addr:(addr - r.dev_base) ~size
+    | None ->
+        raise
+          (Memory.Fault
+             { Memory.cause = Cap.Bounds_violation; addr; access = Memory.Read })
+
+let store m ~auth ~addr ~size v =
+  check ~auth ~perm:Perm.Store ~addr ~size Memory.Write;
+  if Memory.contains m.mem addr then begin
+    tick m Cost.mem_word;
+    Memory.store ~auth m.mem ~addr ~size v
+  end
+  else
+    match region_of m addr with
+    | Some r ->
+        check ~auth ~perm:Perm.Store ~addr ~size Memory.Write;
+        tick m Cost.mmio;
+        r.dev.Device.write ~addr:(addr - r.dev_base) ~size v
+    | None ->
+        raise
+          (Memory.Fault
+             { Memory.cause = Cap.Bounds_violation; addr; access = Memory.Write })
+
+let load_cap m ~auth ~addr =
+  tick m Cost.mem_cap;
+  Memory.load_cap ~auth m.mem ~addr
+
+let store_cap m ~auth ~addr c =
+  tick m Cost.mem_cap;
+  Memory.store_cap ~auth m.mem ~addr c
+
+let zero m ~auth ~addr ~len =
+  if len > 0 then begin
+    tick m ((len + Memory.granule_size - 1) / Memory.granule_size * Cost.mem_cap);
+    Memory.zero ~auth m.mem ~addr ~len
+  end

@@ -1,0 +1,115 @@
+(** The simulated CHERIoT core: tagged SRAM, MMIO bus, cycle clock,
+    timer + interrupt lines, and the background hardware revoker (§2.1).
+
+    All RTOS code runs "on" a [t]: memory is reached through the checked,
+    cycle-charged accessors here, and modelled work is charged with
+    [tick].  Interrupts are delivered at [tick] boundaries through a
+    pluggable hook (installed by the scheduler); the hook runs with
+    interrupts disabled. *)
+
+(** A memory-mapped device. *)
+module Device : sig
+  type t = {
+    name : string;
+    read : addr:int -> size:int -> int;
+    write : addr:int -> size:int -> int -> unit;
+  }
+
+  val ram : name:string -> size:int -> t
+  (** A trivial register-file device backed by bytes (for tests/LED). *)
+end
+
+type t
+
+val create : ?sram_base:int -> ?sram_size:int -> unit -> t
+(** Defaults: SRAM at 0x20000000, 256 KiB — the paper's Arty A7 setup. *)
+
+val mem : t -> Memory.t
+val sram_base : t -> int
+val sram_size : t -> int
+
+(* Clock *)
+
+val cycles : t -> int
+
+val tick : t -> int -> unit
+(** Charge [n] cycles of work: advances the clock, progresses the
+    revoker, fires the timer, and delivers pending interrupts if
+    enabled. *)
+
+val clock_mhz : int
+(** 33 MHz, the paper's FPGA clock; used to convert cycles to seconds. *)
+
+val seconds_of_cycles : int -> float
+
+(* Interrupts *)
+
+val timer_irq : int
+val revoker_irq : int
+val ethernet_irq : int
+val first_user_irq : int
+
+val irq_enabled : t -> bool
+val set_irq_enabled : t -> bool -> unit
+
+val raise_irq : t -> int -> unit
+(** Mark interrupt line [n] pending. *)
+
+val pending : t -> int -> bool
+
+val set_deliver_hook : t -> (int -> unit) option -> unit
+(** Installed by the scheduler; called once per delivered interrupt with
+    interrupts disabled.  The pending bit is cleared before the call. *)
+
+val set_timer : t -> int option -> unit
+(** Absolute cycle deadline for the next timer interrupt (None = off). *)
+
+val add_tick_listener : t -> (int -> unit) -> unit
+(** Called on every [tick] with the current cycle count, before
+    interrupt delivery.  Used by simulated external hardware (e.g. the
+    network world) to inject events; listeners must not call [tick]. *)
+
+val set_post_tick_hook : t -> (unit -> unit) option -> unit
+(** Called at the end of every [tick], after interrupt delivery has
+    completed.  The kernel uses it to take preemption decisions in a
+    context where performing an effect is safe. *)
+
+(* MMIO *)
+
+val add_device : t -> base:int -> size:int -> Device.t -> unit
+val device_regions : t -> (string * int * int) list
+(** [(name, base, size)] for the loader's import-table MMIO grants. *)
+
+val find_device : t -> string -> (int * int) option
+
+(* Checked, cycle-charged memory access.  Dispatches SRAM or MMIO. *)
+
+val load : t -> auth:Capability.t -> addr:int -> size:int -> int
+val store : t -> auth:Capability.t -> addr:int -> size:int -> int -> unit
+val load_cap : t -> auth:Capability.t -> addr:int -> Capability.t
+val store_cap : t -> auth:Capability.t -> addr:int -> Capability.t -> unit
+
+val zero : t -> auth:Capability.t -> addr:int -> len:int -> unit
+(** Checked zeroing, charged at capability-store width. *)
+
+(* Revoker *)
+
+val revoker_epoch : t -> int
+(** Number of completed sweeps since boot (the hardware-exposed counter
+    the allocator reads, §3.1.3). *)
+
+val revoker_busy : t -> bool
+
+val revoker_kick : t -> unit
+(** Start a sweep if the revoker is idle. *)
+
+val revoker_interrupt_futex_word : t -> int ref
+(** Monotonic completion counter usable as a futex word (§5.3.2 measures
+    interrupt latency on the revoker IRQ). *)
+
+val set_revoker_rate : t -> cycles_per_granule:int -> unit
+(** Ablation knob (default {!Cost.revoker_cycles_per_granule}). *)
+
+val run_revoker_to_completion : t -> unit
+(** Spin (charging idle cycles) until the current sweep finishes.  Test
+    and allocator-stall helper. *)

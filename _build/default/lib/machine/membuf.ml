@@ -1,0 +1,25 @@
+(* Copy helpers between simulated memory (through capabilities, charged)
+   and OCaml strings used by the protocol codecs. *)
+
+module Cap = Capability
+
+let check ~perm ~auth ~len access =
+  let base = Cap.address auth in
+  match Cap.check_access ~perm ~addr:base ~size:(max 1 len) auth with
+  | Ok () -> base
+  | Error cause -> raise (Memory.Fault { Memory.cause; addr = base; access })
+
+(** Read [len] bytes at the capability's cursor.  One checked access
+    validates the window; the per-byte cost is charged as a block. *)
+let to_string machine ~auth ~len =
+  let base = check ~perm:Perm.Load ~auth ~len Memory.Read in
+  Machine.tick machine (1 + (len / 4));
+  String.init len (fun i ->
+      Char.chr (Memory.load_priv (Machine.mem machine) ~addr:(base + i) ~size:1))
+
+(** Write a string at the capability's cursor. *)
+let of_string machine ~auth s =
+  let len = String.length s in
+  let base = check ~perm:Perm.Store ~auth ~len Memory.Write in
+  Machine.tick machine (1 + (len / 4));
+  Memory.blit_string_priv (Machine.mem machine) ~addr:base s

@@ -1,0 +1,17 @@
+(** Bulk copies between simulated SRAM (through a checking capability)
+    and OCaml strings.
+
+    Used wherever compartment code marshals byte buffers (network
+    frames, protocol payloads, log strings).  One checked access
+    validates the whole window against the capability; the per-byte bus
+    cost is charged as a block, so copies remain honest in the cycle
+    accounting without paying a simulated access per byte. *)
+
+val to_string : Machine.t -> auth:Capability.t -> len:int -> string
+(** Read [len] bytes at the capability's cursor.  Raises {!Memory.Fault}
+    exactly as a hardware copy loop would if the window is not readable
+    through [auth]. *)
+
+val of_string : Machine.t -> auth:Capability.t -> string -> unit
+(** Write the string at the capability's cursor; requires a writable
+    window. *)

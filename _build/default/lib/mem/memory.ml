@@ -1,0 +1,228 @@
+module Cap = Capability
+
+type access = Read | Write | Exec
+
+let pp_access ppf a =
+  Fmt.string ppf (match a with Read -> "read" | Write -> "write" | Exec -> "exec")
+
+type fault = { cause : Cap.violation; addr : int; access : access }
+
+exception Fault of fault
+
+let fault_to_string f =
+  Fmt.str "%a fault at 0x%x: %a" pp_access f.access f.addr Cap.pp_violation
+    f.cause
+
+let granule_size = 8
+
+type t = {
+  base : int;
+  size : int;
+  data : Bytes.t;
+  caps : Cap.t option array;
+  revoked : Bytes.t;
+  mutable load_filter : bool;
+}
+
+let create ~base ~size =
+  assert (base mod granule_size = 0 && size mod granule_size = 0 && size > 0);
+  let granules = size / granule_size in
+  {
+    base;
+    size;
+    data = Bytes.make size '\000';
+    caps = Array.make granules None;
+    revoked = Bytes.make ((granules + 7) / 8) '\000';
+    load_filter = true;
+  }
+
+let base m = m.base
+let size m = m.size
+let contains m addr = addr >= m.base && addr < m.base + m.size
+let set_load_filter m b = m.load_filter <- b
+let load_filter_enabled m = m.load_filter
+let granule_count m = m.size / granule_size
+
+let fault cause addr access = raise (Fault { cause; addr; access })
+
+let granule_of m addr = (addr - m.base) / granule_size
+
+let check_range m ~addr ~size:sz access =
+  if addr < m.base || addr + sz > m.base + m.size then
+    fault Cap.Bounds_violation addr access
+
+(* Revocation bitmap *)
+
+let rev_get m g =
+  Char.code (Bytes.get m.revoked (g lsr 3)) land (1 lsl (g land 7)) <> 0
+
+let rev_set m g v =
+  let i = g lsr 3 in
+  let b = Char.code (Bytes.get m.revoked i) in
+  let b = if v then b lor (1 lsl (g land 7)) else b land lnot (1 lsl (g land 7)) in
+  Bytes.set m.revoked i (Char.chr (b land 0xff))
+
+let set_revoked m ~addr ~len =
+  check_range m ~addr ~size:len Write;
+  for g = granule_of m addr to granule_of m (addr + len - 1) do
+    rev_set m g true
+  done
+
+let clear_revoked m ~addr ~len =
+  check_range m ~addr ~size:len Write;
+  for g = granule_of m addr to granule_of m (addr + len - 1) do
+    rev_set m g false
+  done
+
+let is_revoked m addr = contains m addr && rev_get m (granule_of m addr)
+
+let revoked_granule_count m =
+  let n = ref 0 in
+  for g = 0 to granule_count m - 1 do
+    if rev_get m g then incr n
+  done;
+  !n
+
+(* Raw (privileged) byte access *)
+
+let load_priv m ~addr ~size:sz =
+  check_range m ~addr ~size:sz Read;
+  let off = addr - m.base in
+  let rec go acc i =
+    if i < 0 then acc
+    else go ((acc lsl 8) lor Char.code (Bytes.get m.data (off + i))) (i - 1)
+  in
+  go 0 (sz - 1)
+
+let clear_granule_tag m addr =
+  m.caps.(granule_of m addr) <- None
+
+let store_priv m ~addr ~size:sz v =
+  check_range m ~addr ~size:sz Write;
+  let off = addr - m.base in
+  for i = 0 to sz - 1 do
+    Bytes.set m.data (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done;
+  (* Any data write invalidates the tag of the granule(s) touched. *)
+  clear_granule_tag m addr;
+  clear_granule_tag m (addr + sz - 1)
+
+(* Lossy raw encoding of a capability: cursor in the low word, a packed
+   summary in the high word.  Reading a capability as data observes this,
+   as on hardware. *)
+let raw_encoding c =
+  let meta =
+    (Cap.length c land 0xffff)
+    lor ((match Cap.otype c with
+         | Cap.Otype.Unsealed -> 0
+         | Cap.Otype.Sentry _ -> 1
+         | Cap.Otype.Data d -> d)
+        lsl 16)
+  in
+  (Cap.address c land 0xffffffff, meta)
+
+let store_cap_priv m ~addr c =
+  if addr mod granule_size <> 0 then fault Cap.Bounds_violation addr Write;
+  check_range m ~addr ~size:granule_size Write;
+  let lo, hi = raw_encoding c in
+  let off = addr - m.base in
+  for i = 0 to 3 do
+    Bytes.set m.data (off + i) (Char.chr ((lo lsr (8 * i)) land 0xff));
+    Bytes.set m.data (off + 4 + i) (Char.chr ((hi lsr (8 * i)) land 0xff))
+  done;
+  m.caps.(granule_of m addr) <- (if Cap.tag c then Some c else None)
+
+let load_cap_priv m ~addr =
+  if addr mod granule_size <> 0 then fault Cap.Bounds_violation addr Read;
+  check_range m ~addr ~size:granule_size Read;
+  match m.caps.(granule_of m addr) with
+  | Some c -> c
+  | None ->
+      (* Untagged: decode the raw bytes into a null-derived value. *)
+      let lo = load_priv m ~addr ~size:4 in
+      Cap.clear_tag
+        (match Cap.with_address Cap.null lo with Ok c -> c | Error _ -> Cap.null)
+
+let zero_priv m ~addr ~len =
+  check_range m ~addr ~size:len Write;
+  Bytes.fill m.data (addr - m.base) len '\000';
+  for g = granule_of m addr to granule_of m (addr + len - 1) do
+    m.caps.(g) <- None
+  done
+
+let blit_string_priv m ~addr s =
+  check_range m ~addr ~size:(String.length s) Write;
+  Bytes.blit_string s 0 m.data (addr - m.base) (String.length s);
+  if String.length s > 0 then
+    for g = granule_of m addr to granule_of m (addr + String.length s - 1) do
+      m.caps.(g) <- None
+    done
+
+(* Checked access *)
+
+let check m ~auth ~perm ~addr ~size:sz access =
+  (match Cap.check_access ~perm ~addr ~size:sz auth with
+  | Ok () -> ()
+  | Error cause -> fault cause addr access);
+  if sz > 1 && addr mod sz <> 0 then fault Cap.Bounds_violation addr access;
+  (* Revoked authority: the hardware guarantees accesses to freed objects
+     trap as soon as free returns (§3.1.3).  The load filter catches
+     capabilities reloaded from memory; register-held copies in native
+     compartment code would be filtered when spilled/reloaded around the
+     free() call, which we model by checking the authority's base here. *)
+  if m.load_filter && contains m (Cap.base auth) && rev_get m (granule_of m (Cap.base auth))
+  then fault Cap.Tag_violation addr access
+
+let load ~auth m ~addr ~size:sz =
+  check m ~auth ~perm:Perm.Load ~addr ~size:sz Read;
+  load_priv m ~addr ~size:sz
+
+let store ~auth m ~addr ~size:sz v =
+  check m ~auth ~perm:Perm.Store ~addr ~size:sz Write;
+  store_priv m ~addr ~size:sz v
+
+let load_cap ~auth m ~addr =
+  check m ~auth ~perm:Perm.Load ~addr ~size:granule_size Read;
+  if addr mod granule_size <> 0 then fault Cap.Bounds_violation addr Read;
+  let c = load_cap_priv m ~addr in
+  if not (Cap.has_perm Perm.Mem_cap auth) then Cap.clear_tag c
+  else
+    let c = Cap.attenuate_loaded ~auth c in
+    if
+      m.load_filter && Cap.tag c
+      && contains m (Cap.base c)
+      && rev_get m (granule_of m (Cap.base c))
+    then Cap.clear_tag c
+    else c
+
+let store_cap ~auth m ~addr c =
+  check m ~auth ~perm:Perm.Store ~addr ~size:granule_size Write;
+  if addr mod granule_size <> 0 then fault Cap.Bounds_violation addr Write;
+  if not (Cap.has_perm Perm.Mem_cap auth) then
+    fault (Cap.Permit_violation Perm.Mem_cap) addr Write;
+  if Cap.tag c && not (Cap.has_perm Perm.Global c)
+     && not (Cap.has_perm Perm.Store_local auth)
+  then fault (Cap.Permit_violation Perm.Store_local) addr Write;
+  store_cap_priv m ~addr c
+
+let zero ~auth m ~addr ~len =
+  if len > 0 then begin
+    check m ~auth ~perm:Perm.Store ~addr ~size:1 Write;
+    check m ~auth ~perm:Perm.Store ~addr:(addr + len - 1) ~size:1 Write;
+    zero_priv m ~addr ~len
+  end
+
+(* Revoker *)
+
+let sweep_granule m g =
+  match m.caps.(g) with
+  | None -> false
+  | Some c ->
+      if contains m (Cap.base c) && rev_get m (granule_of m (Cap.base c)) then begin
+        m.caps.(g) <- None;
+        true
+      end
+      else false
+
+let tagged_granule_count m =
+  Array.fold_left (fun n c -> match c with Some _ -> n + 1 | None -> n) 0 m.caps

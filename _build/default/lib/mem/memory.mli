@@ -1,0 +1,101 @@
+(** Tagged SRAM with revocation bits and the CHERIoT load filter (§2.1).
+
+    Memory is an array of 8-byte granules.  Each granule carries a
+    non-addressable CHERI tag: it either holds a valid capability or raw
+    bytes.  Storing data over a capability clears its tag; reading a
+    capability as data yields its (lossy) raw encoding with the tag
+    cleared.
+
+    Every granule also has a revocation bit, held in a separate region in
+    the real hardware.  When a capability is loaded through [load_cap] and
+    the revocation bit of its *base* granule is set, the load filter
+    clears the loaded capability's tag — this is what makes freed pointers
+    unusable immediately after [free] returns.
+
+    All checked accessors take the authorising capability and raise
+    [Fault] exactly where the hardware would trap.  The [_priv] accessors
+    model the allocator's privileged heap capability and the loader's root
+    authority: they bypass permission checks and the load filter. *)
+
+type access = Read | Write | Exec
+
+val pp_access : access Fmt.t
+
+type fault = {
+  cause : Capability.violation;
+  addr : int;
+  access : access;
+}
+
+exception Fault of fault
+
+val fault_to_string : fault -> string
+
+type t
+
+val granule_size : int
+(** 8 bytes: the unit of tagging and revocation. *)
+
+val create : base:int -> size:int -> t
+(** Fresh zeroed memory covering [base, base+size); both must be
+    granule-aligned. *)
+
+val base : t -> int
+val size : t -> int
+val contains : t -> int -> bool
+
+val set_load_filter : t -> bool -> unit
+(** Ablation toggle; the filter is on by default. *)
+
+val load_filter_enabled : t -> bool
+
+(* Checked data access *)
+
+val load : auth:Capability.t -> t -> addr:int -> size:int -> int
+(** Load [size] (1, 2 or 4) bytes, little-endian, naturally aligned. *)
+
+val store : auth:Capability.t -> t -> addr:int -> size:int -> int -> unit
+(** Store [size] bytes; clears the tag of the granule written. *)
+
+val load_cap : auth:Capability.t -> t -> addr:int -> Capability.t
+(** Load a capability from a granule-aligned address.  Applies, in order:
+    the [Mem_cap] check (without it the result is untagged), deep
+    attenuation ([Capability.attenuate_loaded]) and the load filter. *)
+
+val store_cap : auth:Capability.t -> t -> addr:int -> Capability.t -> unit
+(** Store a capability.  A tagged non-[Global] capability additionally
+    requires [Store_local] on [auth] (§2.1 safe delegation). *)
+
+val zero : auth:Capability.t -> t -> addr:int -> len:int -> unit
+(** Checked zeroing (clears tags). *)
+
+(* Privileged access (loader, allocator, machine) *)
+
+val load_priv : t -> addr:int -> size:int -> int
+val store_priv : t -> addr:int -> size:int -> int -> unit
+val load_cap_priv : t -> addr:int -> Capability.t
+val store_cap_priv : t -> addr:int -> Capability.t -> unit
+val zero_priv : t -> addr:int -> len:int -> unit
+val blit_string_priv : t -> addr:int -> string -> unit
+
+(* Revocation bits *)
+
+val set_revoked : t -> addr:int -> len:int -> unit
+val clear_revoked : t -> addr:int -> len:int -> unit
+val is_revoked : t -> int -> bool
+(** Revocation bit of the granule containing the address. *)
+
+val revoked_granule_count : t -> int
+
+(* Revoker support *)
+
+val granule_count : t -> int
+
+val sweep_granule : t -> int -> bool
+(** [sweep_granule m i] checks granule [i]: if it holds a capability whose
+    base points into a revoked granule, invalidate it (clear the tag).
+    Returns [true] if a capability was invalidated.  One step of the
+    background revoker. *)
+
+val tagged_granule_count : t -> int
+(** Number of granules currently holding valid capabilities (test aid). *)

@@ -1,0 +1,1 @@
+lib/net/firewall.ml: Array Capability Char Firmware Interp Kernel List Loader Machine Membuf Netsim Option Packet Scheduler String

@@ -1,0 +1,1 @@
+lib/net/firewall.mli: Firmware Kernel

@@ -1,0 +1,1 @@
+lib/net/netsim.ml: Bytes Char List Machine Option Packet Queue String Tls_lite

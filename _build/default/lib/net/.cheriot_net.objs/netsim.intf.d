@@ -1,0 +1,1 @@
+lib/net/netsim.mli: Machine Packet

@@ -1,0 +1,1 @@
+lib/net/netstack.ml: Allocator Array Capability Firewall Firmware Hardening Hashtbl Interp Kernel List Loader Machine Membuf Netsim Option Packet Perm Scheduler String Tcpip Tls_lite

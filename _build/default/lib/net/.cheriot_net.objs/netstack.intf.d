@@ -1,0 +1,1 @@
+lib/net/netstack.mli: Firewall Firmware Kernel Tcpip

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Buffer Bytes Char Option Printf String

@@ -1,0 +1,1 @@
+lib/net/tcpip.ml: Allocator Array Capability Firewall Firmware Interp Kernel List Loader Machine Membuf Microreboot Netsim Packet Perm Scheduler String

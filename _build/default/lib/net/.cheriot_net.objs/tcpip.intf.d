@@ -1,0 +1,1 @@
+lib/net/tcpip.mli: Firmware Kernel

@@ -1,0 +1,1 @@
+lib/net/tls_lite.ml: Bytes Char Printf String

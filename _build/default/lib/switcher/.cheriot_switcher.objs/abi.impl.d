@@ -1,0 +1,1 @@
+lib/switcher/abi.ml: Capability

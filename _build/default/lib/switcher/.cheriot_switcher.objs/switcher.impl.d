@@ -1,0 +1,1 @@
+lib/switcher/switcher.ml: Abi Capability Interp Isa List Perm Printf

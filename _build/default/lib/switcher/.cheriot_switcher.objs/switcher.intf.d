@@ -1,0 +1,1 @@
+lib/switcher/switcher.mli: Capability Interp Isa

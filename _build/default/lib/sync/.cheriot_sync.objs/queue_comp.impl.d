@@ -1,0 +1,1 @@
+lib/sync/queue_comp.ml: Allocator Array Capability Firmware Fmt Hardening Interp Kernel List Machine Option Perm Scheduler String Sync

@@ -1,0 +1,1 @@
+lib/sync/queue_comp.mli: Allocator Firmware Fmt Kernel

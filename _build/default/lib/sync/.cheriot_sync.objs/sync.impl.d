@@ -1,0 +1,1 @@
+lib/sync/sync.ml: Capability Cost Firmware Fun Kernel Machine Scheduler

@@ -1,0 +1,1 @@
+lib/sys/freertos_compat.ml: Interp Kernel Machine Queue_comp Sync

@@ -1,0 +1,1 @@
+lib/sys/freertos_compat.mli: Kernel

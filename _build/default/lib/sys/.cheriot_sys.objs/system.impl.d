@@ -1,0 +1,1 @@
+lib/sys/system.ml: Allocator Firmware Kernel Loader Machine Queue_comp Scheduler

@@ -1,0 +1,1 @@
+lib/sys/system.mli: Allocator Firmware Kernel Machine Scheduler

@@ -1,0 +1,1 @@
+lib/sys/thread_pool.ml: Array Capability Firmware Hashtbl Interp Kernel List Loader Machine Memory Scheduler

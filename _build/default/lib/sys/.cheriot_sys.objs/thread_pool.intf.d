@@ -1,0 +1,1 @@
+lib/sys/thread_pool.mli: Firmware Kernel

@@ -1,0 +1,1 @@
+lib/sys/uart.ml: Array Buffer Capability Char Firmware Interp Kernel Loader Machine Membuf String

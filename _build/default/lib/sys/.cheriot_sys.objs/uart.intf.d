@@ -1,0 +1,1 @@
+lib/sys/uart.mli: Firmware Kernel Machine

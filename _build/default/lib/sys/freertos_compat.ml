@@ -1,0 +1,65 @@
+
+type tick = int
+
+let tick_rate_hz = 1000
+let cycles_per_tick = Machine.clock_mhz * 1_000_000 / tick_rate_hz
+
+let xTaskGetTickCount ctx =
+  Machine.cycles (Kernel.machine ctx.Kernel.kernel) / cycles_per_tick
+
+let vTaskDelay ctx ticks = if ticks > 0 then Kernel.sleep ctx (ticks * cycles_per_tick)
+let pdMS_TO_TICKS ms = ms * tick_rate_hz / 1000
+
+(* Queues ride on the hardened queue compartment: storage paid by the
+   caller's allocation capability, handle opaque. *)
+type queue = { q_handle : Kernel.value; mutable q_len : int; q_capacity : int }
+
+let xQueueCreate ctx ~alloc_cap ~length ~item_size =
+  match Queue_comp.create ctx ~alloc_cap ~elem_size:item_size ~capacity:length with
+  | Ok q_handle -> Some { q_handle; q_len = 0; q_capacity = length }
+  | Error _ -> None
+
+let xQueueSend ctx q item ~ticks_to_wait =
+  match
+    Queue_comp.send ctx ~handle:q.q_handle item
+      ~timeout:(max 0 ticks_to_wait * cycles_per_tick)
+      ()
+  with
+  | Ok () ->
+      q.q_len <- min q.q_capacity (q.q_len + 1);
+      true
+  | Error _ -> false
+
+let xQueueReceive ctx q ~into ~ticks_to_wait =
+  match
+    Queue_comp.recv ctx ~handle:q.q_handle ~into
+      ~timeout:(max 0 ticks_to_wait * cycles_per_tick)
+      ()
+  with
+  | Ok () ->
+      q.q_len <- max 0 (q.q_len - 1);
+      true
+  | Error _ -> false
+
+let uxQueueMessagesWaiting ctx q =
+  match Kernel.call1 ctx ~import:"queue.qlength" [ q.q_handle ] with
+  | Ok v when Interp.to_int v >= 0 -> Interp.to_int v
+  | _ -> q.q_len
+
+(* Binary semaphores *)
+
+let xSemaphoreCreateBinary ctx ~word = Sync.Semaphore.init ctx ~word 0
+
+let xSemaphoreGive ctx ~word =
+  (* Binary: saturate at 1. *)
+  if Sync.Semaphore.value ctx ~word = 0 then Sync.Semaphore.release ctx ~word
+
+let xSemaphoreTake ctx ~word ~ticks_to_wait =
+  Sync.Semaphore.acquire ctx ~word
+    ~timeout:(max 0 ticks_to_wait * cycles_per_tick)
+    ()
+
+(* Critical sections (the TCP/IP port's mutex-for-interrupt-disable). *)
+
+let enter_critical ctx ~lock_word = ignore (Sync.Mutex.lock ctx ~word:lock_word ())
+let exit_critical ctx ~lock_word = Sync.Mutex.unlock ctx ~word:lock_word

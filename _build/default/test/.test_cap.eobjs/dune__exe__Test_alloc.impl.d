@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Allocator Capability Firmware Fmt Gen Interp Kernel List Loader Machine Memory Perm QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_alloc_props.ml: Alcotest Allocator Capability Firmware Kernel List Loader Machine Memory Option Printf QCheck QCheck_alcotest Queue_comp Result Scheduler String System

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Allocator Audit_report Firmware Interp Json List Loader Machine Printf QCheck QCheck_alcotest Rego Result String

@@ -1,0 +1,1 @@
+test/test_cap.ml: Alcotest Capability List Perm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compat.ml: Alcotest Allocator Capability Firmware Freertos_compat Interp Kernel List Loader Machine Option Printf Result System

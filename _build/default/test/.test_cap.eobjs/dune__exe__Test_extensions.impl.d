@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Capability Firmware Fun Interp Kernel Machine Microreboot Result System Tainted

@@ -1,0 +1,1 @@
+test/test_hardening.ml: Alcotest Allocator Array Capability Firmware Hardening Interp Kernel Loader Machine Memory Perm Result Scoped System

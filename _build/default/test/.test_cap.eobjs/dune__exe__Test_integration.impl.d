@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Allocator Array Audit_report Capability Firmware Interp Kernel Lazy List Loader Machine Microreboot Queue_comp Rego Result String System Thread_pool Uart

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Capability Fmt Interp Isa List Machine Perm QCheck QCheck_alcotest

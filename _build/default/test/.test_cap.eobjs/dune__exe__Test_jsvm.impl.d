@@ -1,0 +1,1 @@
+test/test_jsvm.ml: Alcotest Jsvm Machine

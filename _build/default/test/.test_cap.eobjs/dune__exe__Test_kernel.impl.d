@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Capability Firmware Hashtbl Interp Kernel List Loader Machine Memory Option Printf Result

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Allocator Array Capability Firmware Interp List Loader Machine Memory Perm Printf QCheck QCheck_alcotest Switcher

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Capability List Machine Memory Perm Printf

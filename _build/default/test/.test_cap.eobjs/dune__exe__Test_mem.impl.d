@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Capability Memory Perm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Alcotest_engine__Core Allocator Capability Firmware Interp Kernel Loader Machine Membuf Memory Netsim Netstack Packet Result Scheduler String System Tcpip Tls_lite

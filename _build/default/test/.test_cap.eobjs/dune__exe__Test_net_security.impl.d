@@ -1,0 +1,1 @@
+test/test_net_security.ml: Alcotest Alcotest_engine__Core Allocator Capability Firewall Firmware Interp Kernel Machine Membuf Memory Netsim Netstack Packet Result Scheduler String System Tcpip

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char List Packet QCheck QCheck_alcotest Result String Tls_lite

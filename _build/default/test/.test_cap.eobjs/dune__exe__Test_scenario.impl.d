@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Iot_scenario Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_sched_policy.ml: Alcotest Capability Firmware Interp Kernel List Machine Printf Result Scheduler System

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Allocator Audit_report Capability Firmware Interp Kernel List Loader Machine Microreboot Queue_comp Rego Result System Thread_pool Uart

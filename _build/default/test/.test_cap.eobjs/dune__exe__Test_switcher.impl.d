@@ -1,0 +1,1 @@
+test/test_switcher.ml: Alcotest Array Capability Firmware Interp Isa Kernel List Loader Machine Memory Perm Printf Result Switcher

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Alcotest_engine__Core Allocator Capability Firmware Hardening Interp Kernel List Machine Memory Perm Result Scheduler Sync System

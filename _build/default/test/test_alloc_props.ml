@@ -1,0 +1,182 @@
+(* Property-based stress of the shared heap: randomized operation
+   sequences (allocate / free / claim / release) must preserve the
+   allocator's core invariants. *)
+
+module Cap = Capability
+module F = Firmware
+module A = Allocator
+
+let firmware () =
+  System.image ~name:"alloc-props"
+    ~sealed_objects:
+      [
+        A.alloc_capability ~name:"qa" ~quota:16384;
+        A.alloc_capability ~name:"qb" ~quota:16384;
+      ]
+    ~threads:[ F.thread ~name:"main" ~comp:"app" ~entry:"main" ~stack_size:2048 () ]
+    [
+      F.compartment "app" ~globals_size:32
+        ~entries:[ F.entry "main" ~arity:0 ~min_stack:512 ]
+        ~imports:
+          (A.client_imports
+          @ Scheduler.client_imports @ Queue_comp.client_imports
+          @ [ F.Static_sealed { target = "qa" }; F.Static_sealed { target = "qb" } ]);
+    ]
+
+let run_ops main =
+  let machine = Machine.create () in
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  let out = ref None in
+  Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
+      out := Some (main sys ctx);
+      Cap.null);
+  System.run ~until_cycles:4_000_000_000 sys;
+  Option.get !out
+
+let quota ctx name =
+  let l = Loader.find_comp (Kernel.loader ctx.Kernel.kernel) "app" in
+  Machine.load_cap (Kernel.machine ctx.Kernel.kernel) ~auth:l.Loader.lc_import_cap
+    ~addr:(Loader.import_slot_addr l (Loader.import_slot l ("sealed:" ^ name)))
+
+type op = Alloc of int | Free of int | Claim of int | Release of int | Sweep
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 5 60)
+      (frequency
+         [
+           (4, map (fun s -> Alloc (8 + (s mod 700))) nat);
+           (3, map (fun i -> Free i) (int_bound 20));
+           (1, map (fun i -> Claim i) (int_bound 20));
+           (1, map (fun i -> Release i) (int_bound 20));
+           (1, return Sweep);
+         ]))
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Alloc n -> Printf.sprintf "A%d" n
+         | Free i -> Printf.sprintf "F%d" i
+         | Claim i -> Printf.sprintf "C%d" i
+         | Release i -> Printf.sprintf "R%d" i
+         | Sweep -> "S")
+       ops)
+
+(* Execute an op sequence; track live allocations and claims; then check
+   invariants. *)
+let run_sequence ops =
+  run_ops (fun sys ctx ->
+      let machine = sys.System.machine in
+      let qa = quota ctx "qa" and qb = quota ctx "qb" in
+      let live = ref [] in
+      (* (cap, claimed) list *)
+      let nth i = List.nth_opt !live (if !live = [] then 0 else i mod List.length !live) in
+      List.iter
+        (fun op ->
+          match op with
+          | Alloc size -> (
+              match A.allocate ctx ~alloc_cap:qa size with
+              | Ok c -> live := (c, false) :: !live
+              | Error _ -> ())
+          | Free i -> (
+              match nth i with
+              | Some (c, false) ->
+                  (match A.free ctx ~alloc_cap:qa c with
+                  | Ok () -> live := List.filter (fun (c', _) -> c' != c) !live
+                  | Error _ -> ())
+              | _ -> ())
+          | Claim i -> (
+              match nth i with
+              | Some (c, false) ->
+                  (match A.claim ctx ~alloc_cap:qb c with
+                  | Ok () ->
+                      live :=
+                        List.map (fun (c', cl) -> if c' == c then (c', true) else (c', cl)) !live
+                  | Error _ -> ())
+              | _ -> ())
+          | Release i -> (
+              match nth i with
+              | Some (c, true) ->
+                  ignore (A.free ctx ~alloc_cap:qb c);
+                  live :=
+                    List.map (fun (c', cl) -> if c' == c then (c', false) else (c', cl)) !live
+              | _ -> ())
+          | Sweep ->
+              Machine.revoker_kick machine;
+              Machine.run_revoker_to_completion machine)
+        ops;
+      (* Invariant 1: all live allocations are usable and disjoint. *)
+      let disjoint =
+        let rec check = function
+          | [] -> true
+          | (c, _) :: rest ->
+              List.for_all
+                (fun (c', _) ->
+                  Cap.top c <= Cap.base c' || Cap.top c' <= Cap.base c)
+                rest
+              && check rest
+        in
+        check !live
+      in
+      let usable =
+        List.for_all
+          (fun (c, _) ->
+            match Machine.store machine ~auth:c ~addr:(Cap.base c) ~size:4 1 with
+            | () -> true
+            | exception Memory.Fault _ -> false)
+          !live
+      in
+      (* Invariant 2: freeing everything refunds both quotas fully. *)
+      List.iter
+        (fun (c, claimed) ->
+          if claimed then ignore (A.free ctx ~alloc_cap:qb c);
+          ignore (A.free ctx ~alloc_cap:qa c))
+        !live;
+      let qa_back = A.quota_remaining ctx ~alloc_cap:qa = Ok 16384 in
+      let qb_back = A.quota_remaining ctx ~alloc_cap:qb = Ok 16384 in
+      disjoint && usable && qa_back && qb_back)
+
+let prop_alloc_invariants =
+  QCheck.Test.make ~name:"randomized heap ops preserve invariants" ~count:25
+    (QCheck.make ~print:print_ops gen_ops)
+    run_sequence
+
+let prop_no_live_overlap_with_reuse =
+  QCheck.Test.make ~name:"reused memory never overlaps live allocations" ~count:15
+    (QCheck.make QCheck.Gen.(list_size (int_range 10 40) (int_range 8 256)))
+    (fun sizes ->
+      run_ops (fun sys ctx ->
+          let machine = sys.System.machine in
+          let qa = quota ctx "qa" in
+          (* Alternate: allocate two, free the first, sweep, allocate
+             again — the fresh one must not alias the survivor. *)
+          let ok = ref true in
+          List.iter
+            (fun size ->
+              match
+                (A.allocate ctx ~alloc_cap:qa size, A.allocate ctx ~alloc_cap:qa size)
+              with
+              | Ok a, Ok b ->
+                  ignore (A.free ctx ~alloc_cap:qa a);
+                  Machine.revoker_kick machine;
+                  Machine.run_revoker_to_completion machine;
+                  (match A.allocate ctx ~alloc_cap:qa size with
+                  | Ok c ->
+                      if Cap.base c < Cap.top b && Cap.base b < Cap.top c then
+                        ok := false;
+                      ignore (A.free ctx ~alloc_cap:qa c)
+                  | Error _ -> ());
+                  ignore (A.free ctx ~alloc_cap:qa b)
+              | Ok a, Error _ -> ignore (A.free ctx ~alloc_cap:qa a)
+              | Error _, _ -> ())
+            sizes;
+          !ok))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_alloc_invariants;
+    QCheck_alcotest.to_alcotest prop_no_live_overlap_with_reuse;
+  ]
+
+let () = Alcotest.run "cheriot_alloc_props" [ ("heap-properties", suite) ]

@@ -1,0 +1,166 @@
+(* The FreeRTOS compatibility shim (P5, §5.2): ported-style code using
+   ticks, queues, binary semaphores and critical sections runs unchanged
+   over the CHERIoT primitives. *)
+
+module Cap = Capability
+module F = Firmware
+module RT = Freertos_compat
+
+let _iv = Interp.int_value
+
+let firmware () =
+  System.image ~name:"compat-test"
+    ~sealed_objects:[ Allocator.alloc_capability ~name:"task_quota" ~quota:2048 ]
+    ~threads:
+      [
+        F.thread ~name:"producer" ~comp:"task" ~entry:"producer" ~priority:2
+          ~stack_size:2048 ();
+        F.thread ~name:"consumer" ~comp:"task" ~entry:"consumer" ~priority:1
+          ~stack_size:2048 ();
+      ]
+    [
+      F.compartment "task" ~globals_size:64
+        ~entries:
+          [
+            F.entry "producer" ~arity:0 ~min_stack:512;
+            F.entry "consumer" ~arity:0 ~min_stack:512;
+          ]
+        ~imports:
+          (System.standard_imports @ [ F.Static_sealed { target = "task_quota" } ]);
+    ]
+
+let boot2 ~producer ~consumer =
+  let machine = Machine.create () in
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  let k = sys.System.kernel in
+  let failure = ref None in
+  let guard f ctx =
+    (try f ctx with e -> failure := Some e);
+    Cap.null
+  in
+  Kernel.implement1 k ~comp:"task" ~entry:"producer" (fun ctx _ -> guard producer ctx);
+  Kernel.implement1 k ~comp:"task" ~entry:"consumer" (fun ctx _ -> guard consumer ctx);
+  System.run ~until_cycles:2_000_000_000 sys;
+  (match !failure with Some e -> raise e | None -> ());
+  (sys, k)
+
+let quota ctx =
+  let l = Loader.find_comp (Kernel.loader ctx.Kernel.kernel) "task" in
+  Machine.load_cap (Kernel.machine ctx.Kernel.kernel) ~auth:l.Loader.lc_import_cap
+    ~addr:(Loader.import_slot_addr l (Loader.import_slot l "sealed:task_quota"))
+
+let global_word ctx off =
+  Cap.exn
+    (Cap.set_bounds
+       (Cap.exn (Cap.with_address ctx.Kernel.cgp (Cap.base ctx.Kernel.cgp + off)))
+       ~length:4)
+
+let test_ticks_and_delay () =
+  ignore
+    (boot2
+       ~producer:(fun ctx ->
+         let t0 = RT.xTaskGetTickCount ctx in
+         RT.vTaskDelay ctx (RT.pdMS_TO_TICKS 50);
+         let t1 = RT.xTaskGetTickCount ctx in
+         Alcotest.(check bool)
+           (Printf.sprintf "50 ms pass (%d -> %d ticks)" t0 t1)
+           true
+           (t1 - t0 >= 49 && t1 - t0 <= 60))
+       ~consumer:(fun _ -> ()))
+
+let test_queue_roundtrip () =
+  let received = ref [] in
+  let qbox = ref None in
+  ignore
+    (boot2
+       ~producer:(fun ctx ->
+         match RT.xQueueCreate ctx ~alloc_cap:(quota ctx) ~length:4 ~item_size:4 with
+         | None -> Alcotest.fail "xQueueCreate failed"
+         | Some q ->
+             qbox := Some q;
+             let ctx, item = Kernel.stack_alloc ctx 8 in
+             for i = 1 to 5 do
+               Machine.store (Kernel.machine ctx.Kernel.kernel) ~auth:item
+                 ~addr:(Cap.base item) ~size:4 (i * 7);
+               Alcotest.(check bool) "send" true
+                 (RT.xQueueSend ctx q item ~ticks_to_wait:100)
+             done)
+       ~consumer:(fun ctx ->
+         while !qbox = None do
+           Kernel.yield ctx
+         done;
+         let q = Option.get !qbox in
+         let ctx, into = Kernel.stack_alloc ctx 8 in
+         for _ = 1 to 5 do
+           Alcotest.(check bool) "receive" true
+             (RT.xQueueReceive ctx q ~into ~ticks_to_wait:100);
+           received :=
+             Machine.load (Kernel.machine ctx.Kernel.kernel) ~auth:into
+               ~addr:(Cap.base into) ~size:4
+             :: !received
+         done;
+         Alcotest.(check int) "drained" 0 (RT.uxQueueMessagesWaiting ctx q)));
+  Alcotest.(check (list int)) "fifo" [ 7; 14; 21; 28; 35 ] (List.rev !received)
+
+let test_queue_receive_timeout () =
+  ignore
+    (boot2
+       ~producer:(fun ctx ->
+         match RT.xQueueCreate ctx ~alloc_cap:(quota ctx) ~length:2 ~item_size:4 with
+         | None -> Alcotest.fail "create"
+         | Some q ->
+             let ctx, into = Kernel.stack_alloc ctx 8 in
+             let t0 = RT.xTaskGetTickCount ctx in
+             Alcotest.(check bool) "empty receive times out" false
+               (RT.xQueueReceive ctx q ~into ~ticks_to_wait:20);
+             Alcotest.(check bool) "waited about 20 ticks" true
+               (RT.xTaskGetTickCount ctx - t0 >= 19))
+       ~consumer:(fun _ -> ()))
+
+let test_binary_semaphore () =
+  let order = ref [] in
+  ignore
+    (boot2
+       ~producer:(fun ctx ->
+         (* producer has higher priority: runs first, takes = blocks. *)
+         let word = global_word ctx 0 in
+         RT.xSemaphoreCreateBinary ctx ~word;
+         order := "take-start" :: !order;
+         Alcotest.(check bool) "take succeeds" true
+           (RT.xSemaphoreTake ctx ~word ~ticks_to_wait:1000);
+         order := "taken" :: !order)
+       ~consumer:(fun ctx ->
+         let word = global_word ctx 0 in
+         order := "give" :: !order;
+         RT.xSemaphoreGive ctx ~word;
+         (* Giving twice saturates at one. *)
+         RT.xSemaphoreGive ctx ~word));
+  Alcotest.(check (list string)) "blocking handoff" [ "take-start"; "give"; "taken" ]
+    (List.rev !order)
+
+let test_critical_section () =
+  let in_cs = ref false and violations = ref 0 in
+  let body ctx =
+    let lock_word = global_word ctx 4 in
+    for _ = 1 to 10 do
+      RT.enter_critical ctx ~lock_word;
+      if !in_cs then incr violations;
+      in_cs := true;
+      Machine.tick (Kernel.machine ctx.Kernel.kernel) 3000;
+      in_cs := false;
+      RT.exit_critical ctx ~lock_word
+    done
+  in
+  ignore (boot2 ~producer:body ~consumer:body);
+  Alcotest.(check int) "mutual exclusion held" 0 !violations
+
+let suite =
+  [
+    Alcotest.test_case "ticks and delay" `Quick test_ticks_and_delay;
+    Alcotest.test_case "queue roundtrip" `Quick test_queue_roundtrip;
+    Alcotest.test_case "queue timeout" `Quick test_queue_receive_timeout;
+    Alcotest.test_case "binary semaphore" `Quick test_binary_semaphore;
+    Alcotest.test_case "critical section" `Quick test_critical_section;
+  ]
+
+let () = Alcotest.run "cheriot_compat" [ ("freertos-compat", suite) ]

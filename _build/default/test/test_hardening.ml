@@ -1,0 +1,275 @@
+(* Interface hardening (§3.2.5), scoped error handlers (§3.2.6), stack
+   watermark tooling, and the TOCTOU/quota-delegation defences of
+   §3.2.3. *)
+
+module Cap = Capability
+module F = Firmware
+module A = Allocator
+
+let iv = Interp.int_value
+let ti = Interp.to_int
+
+let firmware () =
+  System.image ~name:"hardening-test"
+    ~sealed_objects:
+      [
+        A.alloc_capability ~name:"app_quota" ~quota:4096;
+        A.alloc_capability ~name:"service_quota" ~quota:4096;
+      ]
+    ~threads:[ F.thread ~name:"main" ~comp:"app" ~entry:"main" ~stack_size:4096 () ]
+    [
+      F.compartment "app" ~globals_size:64
+        ~entries:[ F.entry "main" ~arity:0 ~min_stack:1024 ]
+        ~imports:
+          (System.standard_imports
+          @ [
+              F.Static_sealed { target = "app_quota" };
+              F.Call { comp = "service"; entry = "consume" };
+              F.Call { comp = "service"; entry = "freeloader" };
+              F.Call { comp = "service"; entry = "use_stashed" };
+            ]);
+      F.compartment "service" ~globals_size:64
+        ~entries:
+          [
+            F.entry "consume" ~arity:2 ~min_stack:512;
+            F.entry "freeloader" ~arity:1 ~min_stack:512;
+            F.entry "use_stashed" ~arity:0 ~min_stack:512;
+          ]
+        ~imports:System.standard_imports;
+    ]
+
+let run_app main =
+  let machine = Machine.create () in
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  let failure = ref None in
+  Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
+      (try main sys ctx with e -> failure := Some e);
+      Cap.null);
+  System.run sys;
+  match !failure with Some e -> raise e | None -> ()
+
+let quota ctx name =
+  let l = Loader.find_comp (Kernel.loader ctx.Kernel.kernel) "app" in
+  Machine.load_cap (Kernel.machine ctx.Kernel.kernel) ~auth:l.Loader.lc_import_cap
+    ~addr:(Loader.import_slot_addr l (Loader.import_slot l ("sealed:" ^ name)))
+
+(* check_pointer *)
+
+let test_check_pointer () =
+  run_app (fun _sys ctx ->
+      let q = quota ctx "app_quota" in
+      let buf = Result.get_ok (A.allocate ctx ~alloc_cap:q 64) in
+      Alcotest.(check bool) "valid" true
+        (Hardening.check_pointer ctx ~perms:Perm.Set.read_only ~min_length:64 buf);
+      Alcotest.(check bool) "too short" false
+        (Hardening.check_pointer ctx ~min_length:65 buf);
+      Alcotest.(check bool) "untagged" false
+        (Hardening.check_pointer ctx (Cap.clear_tag buf));
+      Alcotest.(check bool) "null" false (Hardening.check_pointer ctx Cap.null);
+      let ro = Hardening.read_only ctx buf in
+      Alcotest.(check bool) "missing store perm" false
+        (Hardening.check_pointer ctx
+           ~perms:(Perm.Set.of_list [ Perm.Store ])
+           ro);
+      let sealed =
+        let key = Result.get_ok (A.token_key_new ctx) in
+        Result.get_ok (A.allocate_sealed ctx ~alloc_cap:q ~key 8)
+      in
+      Alcotest.(check bool) "sealed rejected" false (Hardening.check_pointer ctx sealed))
+
+(* de-privileging *)
+
+let test_deprivilege () =
+  run_app (fun sys ctx ->
+      let q = quota ctx "app_quota" in
+      let buf = Result.get_ok (A.allocate ctx ~alloc_cap:q 64) in
+      let m = sys.System.machine in
+      (* Narrow to 16 bytes, read-only. *)
+      let narrow = Hardening.deprivilege ctx ~length:16 ~perms:Perm.Set.read_only buf in
+      Alcotest.(check int) "narrowed" 16 (Cap.length narrow);
+      (match Machine.store m ~auth:narrow ~addr:(Cap.base narrow) ~size:4 1 with
+      | _ -> Alcotest.fail "read-only view writable"
+      | exception Memory.Fault _ -> ());
+      ignore (Machine.load m ~auth:narrow ~addr:(Cap.base narrow) ~size:4))
+
+let test_deep_immutability_via_api () =
+  run_app (fun sys ctx ->
+      let q = quota ctx "app_quota" in
+      let outer = Result.get_ok (A.allocate ctx ~alloc_cap:q 32) in
+      let inner = Result.get_ok (A.allocate ctx ~alloc_cap:q 16) in
+      let m = sys.System.machine in
+      Machine.store_cap m ~auth:outer ~addr:(Cap.base outer) inner;
+      (* An immutable view: even capabilities loaded through it lose
+         their write permission (§2.1 permit-load-mutable). *)
+      let frozen = Hardening.immutable ctx outer in
+      let loaded = Machine.load_cap m ~auth:frozen ~addr:(Cap.base frozen) in
+      Alcotest.(check bool) "inner loaded tagged" true (Cap.tag loaded);
+      Alcotest.(check bool) "inner lost store" false (Cap.has_perm Perm.Store loaded);
+      match Machine.store m ~auth:loaded ~addr:(Cap.base loaded) ~size:4 1 with
+      | _ -> Alcotest.fail "deep immutability violated"
+      | exception Memory.Fault _ -> ())
+
+let test_no_capture_blocks_storing () =
+  (* §3.2.3: a no-capture view of an allocation capability cannot be
+     stashed in globals or the heap — storing a non-global capability
+     needs Store_local, which only stacks have. *)
+  run_app (fun sys ctx ->
+      let q = quota ctx "app_quota" in
+      let buf = Result.get_ok (A.allocate ctx ~alloc_cap:q 32) in
+      let view = Hardening.no_capture ctx buf in
+      Alcotest.(check bool) "global stripped" false (Cap.has_perm Perm.Global view);
+      let m = sys.System.machine in
+      let stash = Result.get_ok (A.allocate ctx ~alloc_cap:q 8) in
+      (match Machine.store_cap m ~auth:stash ~addr:(Cap.base stash) view with
+      | _ -> Alcotest.fail "captured a no-capture capability in the heap"
+      | exception Memory.Fault _ -> ());
+      (* The stack can hold it for the duration of the call. *)
+      let _ctx2, slot = Kernel.stack_alloc ctx 8 in
+      Machine.store_cap m ~auth:slot ~addr:(Cap.base slot) view)
+
+(* claims: TOCTOU (§3.2.5) and quota delegation (§3.2.3) *)
+
+let test_claim_prevents_toctou_free () =
+  (* A service claims the buffer it was passed; the caller's free cannot
+     pull the memory out from under it. *)
+  run_app (fun sys ctx ->
+      let k = sys.System.kernel in
+      let m = sys.System.machine in
+      let appq = quota ctx "app_quota" in
+      let shared = ref Cap.null in
+      Kernel.implement1 k ~comp:"service" ~entry:"consume" (fun sctx args ->
+          (* The service pins the argument with its own quota. *)
+          let l = Loader.find_comp (Kernel.loader k) "app" in
+          ignore l;
+          (* service uses the caller-supplied allocation capability in
+             arg 1 to claim (delegated quota). *)
+          (match A.claim sctx ~alloc_cap:args.(1) args.(0) with
+          | Ok () -> shared := args.(0)
+          | Error e -> Alcotest.failf "claim failed: %a" A.pp_err e);
+          iv 0);
+      Kernel.implement1 k ~comp:"service" ~entry:"use_stashed" (fun _sctx _ ->
+          (* Later use of the claimed object must still work. *)
+          Machine.store m ~auth:!shared ~addr:(Cap.base !shared) ~size:4 77;
+          iv (Machine.load m ~auth:!shared ~addr:(Cap.base !shared) ~size:4));
+      let buf = Result.get_ok (A.allocate ctx ~alloc_cap:appq 48) in
+      ignore (Kernel.call1 ctx ~import:"service.consume" [ buf; appq ]);
+      (* The owner frees... *)
+      (match A.free ctx ~alloc_cap:appq buf with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "owner free: %a" A.pp_err e);
+      (* ...but the claim keeps the object alive for the service. *)
+      match Kernel.call1 ctx ~import:"service.use_stashed" [] with
+      | Ok v -> Alcotest.(check int) "service survived the free" 77 (ti v)
+      | Error e -> Alcotest.failf "service faulted: %a" Kernel.pp_call_error e)
+
+let test_quota_delegation_charges_caller () =
+  (* A service allocating on behalf of callers uses their allocation
+     capability: exhaustion hits the caller's quota, not the service's. *)
+  run_app (fun sys ctx ->
+      let k = sys.System.kernel in
+      Kernel.implement1 k ~comp:"service" ~entry:"freeloader" (fun sctx args ->
+          match A.allocate sctx ~alloc_cap:args.(0) 1024 with
+          | Ok _ -> iv 0
+          | Error e -> iv (A.err_code e));
+      let appq = quota ctx "app_quota" in
+      (* 4096-byte quota: four 1 KiB allocations fit, the fifth fails. *)
+      for _ = 1 to 4 do
+        match Kernel.call1 ctx ~import:"service.freeloader" [ appq ] with
+        | Ok v -> Alcotest.(check int) "ok" 0 (ti v)
+        | Error e -> Alcotest.failf "call: %a" Kernel.pp_call_error e
+      done;
+      match Kernel.call1 ctx ~import:"service.freeloader" [ appq ] with
+      | Ok v ->
+          Alcotest.(check int) "caller quota exhausted"
+            (A.err_code A.Quota_exceeded) (ti v)
+      | Error e -> Alcotest.failf "call: %a" Kernel.pp_call_error e)
+
+(* scoped handlers *)
+
+let test_scoped_handler_recovers () =
+  run_app (fun sys ctx ->
+      let m = sys.System.machine in
+      let r =
+        Scoped.during ctx
+          (fun () ->
+            ignore (Machine.load m ~auth:Cap.null ~addr:0 ~size:4);
+            "unreachable")
+          ~handler:(fun () -> "recovered")
+      in
+      Alcotest.(check string) "fault path" "recovered" r;
+      let ok = Scoped.during ctx (fun () -> "fine") ~handler:(fun () -> "bad") in
+      Alcotest.(check string) "non-error path" "fine" ok)
+
+let test_scoped_handlers_nest () =
+  run_app (fun sys ctx ->
+      let m = sys.System.machine in
+      let r =
+        Scoped.during ctx
+          (fun () ->
+            let inner =
+              Scoped.during ctx
+                (fun () ->
+                  ignore (Machine.load m ~auth:Cap.null ~addr:0 ~size:4);
+                  0)
+                ~handler:(fun () -> 1)
+            in
+            inner + 10)
+          ~handler:(fun () -> 100)
+      in
+      Alcotest.(check int) "inner handler wins" 11 r;
+      Alcotest.(check (option int)) "during_opt" None
+        (Scoped.during_opt ctx (fun () ->
+             ignore (Machine.load m ~auth:Cap.null ~addr:0 ~size:4);
+             5)))
+
+let test_scoped_handler_passes_non_traps () =
+  run_app (fun _sys ctx ->
+      match
+        Scoped.during ctx (fun () -> raise Exit) ~handler:(fun () -> ())
+      with
+      | () -> Alcotest.fail "handler caught a non-trap exception"
+      | exception Exit -> ())
+
+(* stack watermark (§3.2.5 tooling) *)
+
+let test_stack_watermark () =
+  run_app (fun sys ctx ->
+      let k = sys.System.kernel in
+      let before = Kernel.stack_watermark k ~thread:ctx.Kernel.thread_id in
+      let ctx2 = Kernel.note_stack_use ctx 512 in
+      ignore ctx2;
+      let after = Kernel.stack_watermark k ~thread:ctx.Kernel.thread_id in
+      Alcotest.(check int) "watermark dropped by usage" (before - 512) after;
+      ignore sys)
+
+(* interrupt posture *)
+
+let test_with_interrupts_disabled () =
+  run_app (fun sys ctx ->
+      let m = sys.System.machine in
+      Alcotest.(check bool) "enabled before" true (Machine.irq_enabled m);
+      Kernel.with_interrupts_disabled ctx (fun () ->
+          Alcotest.(check bool) "disabled inside" false (Machine.irq_enabled m));
+      Alcotest.(check bool) "restored" true (Machine.irq_enabled m);
+      (* Restored even if the section raises. *)
+      (try
+         Kernel.with_interrupts_disabled ctx (fun () -> raise Exit)
+       with Exit -> ());
+      Alcotest.(check bool) "restored after raise" true (Machine.irq_enabled m))
+
+let suite =
+  [
+    Alcotest.test_case "check_pointer" `Quick test_check_pointer;
+    Alcotest.test_case "deprivilege" `Quick test_deprivilege;
+    Alcotest.test_case "deep immutability API" `Quick test_deep_immutability_via_api;
+    Alcotest.test_case "no-capture blocks storing" `Quick test_no_capture_blocks_storing;
+    Alcotest.test_case "claim beats TOCTOU free" `Quick test_claim_prevents_toctou_free;
+    Alcotest.test_case "quota delegation" `Quick test_quota_delegation_charges_caller;
+    Alcotest.test_case "scoped handler recovers" `Quick test_scoped_handler_recovers;
+    Alcotest.test_case "scoped handlers nest" `Quick test_scoped_handlers_nest;
+    Alcotest.test_case "scoped passes non-traps" `Quick test_scoped_handler_passes_non_traps;
+    Alcotest.test_case "stack watermark" `Quick test_stack_watermark;
+    Alcotest.test_case "interrupt posture" `Quick test_with_interrupts_disabled;
+  ]
+
+let () = Alcotest.run "cheriot_hardening" [ ("hardening", suite) ]

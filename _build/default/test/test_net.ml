@@ -1,0 +1,223 @@
+(* End-to-end tests of the compartmentalized network stack against the
+   simulated world (§5.2, §5.3.3): DHCP, ARP, ping, DNS, SNTP, TCP,
+   TLS+MQTT, firewalling, and the ping-of-death micro-reboot. *)
+
+module Cap = Capability
+module F = Firmware
+
+let iv = Interp.int_value
+let ti = Interp.to_int
+
+let app_quota = 4096
+
+let firmware () =
+  System.image ~name:"net-test"
+    ~sealed_objects:
+      (Netstack.sealed_objects
+      @ [ Allocator.alloc_capability ~name:"app_quota" ~quota:app_quota ])
+    ~threads:
+      [
+        Netstack.manager_thread;
+        F.thread ~name:"app" ~comp:"app" ~entry:"main" ~priority:1 ~stack_size:4096
+          ~trusted_stack_frames:24 ();
+      ]
+    ([
+       F.compartment "app" ~globals_size:64
+         ~entries:[ F.entry "main" ~arity:0 ~min_stack:1024 ]
+         ~imports:
+           (Netstack.Netapi.client_imports @ Netstack.Mqtt.client_imports
+          @ Netstack.Tls.client_imports
+          @ Allocator.client_imports @ Scheduler.client_imports
+           @ [
+               F.Static_sealed { target = "app_quota" };
+               F.Call { comp = "sntp"; entry = "sync" };
+               F.Call { comp = "sntp"; entry = "now" };
+               F.Call { comp = "tcpip"; entry = "set_vulnerable" };
+               F.Call { comp = "tcpip"; entry = "ifconfig" };
+             ]);
+     ]
+    @ Netstack.compartments ())
+
+type world = {
+  sys : System.t;
+  net : Netsim.t;
+  stack : Netstack.t;
+}
+
+let boot_world ?(latency = 20_000) ?(sntp_latency = 20_000) main =
+  let machine = Machine.create () in
+  let net = Netsim.attach ~latency ~sntp_latency machine in
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  let stack = Netstack.install sys.System.kernel in
+  let failure = ref None in
+  Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
+      (try main { sys; net; stack } ctx
+       with
+      | Alcotest_engine__Core.Check_error _ as e -> failure := Some e
+      | Memory.Fault _ as e -> failure := Some e);
+      (* Shut the manager loop down so the scheduler terminates. *)
+      ignore (Kernel.call1 ctx ~import:"netapi.stop" []);
+      Cap.null);
+  System.run ~until_cycles:3_000_000_000 sys;
+  (match !failure with Some e -> raise e | None -> ());
+  (sys, net)
+
+let quota ctx =
+  let l = Loader.find_comp (Kernel.loader ctx.Kernel.kernel) "app" in
+  let slot = Loader.import_slot l "sealed:app_quota" in
+  Machine.load_cap
+    (Kernel.machine ctx.Kernel.kernel)
+    ~auth:l.Loader.lc_import_cap
+    ~addr:(Loader.import_slot_addr l slot)
+
+let start_net ctx =
+  let r = Kernel.call1 ctx ~import:"netapi.start" [] in
+  Alcotest.(check int) "net_start" 0 (ti (Result.get_ok r))
+
+let str_arg ctx s =
+  let ctx', cap = Kernel.stack_alloc ctx (String.length s + 8) in
+  Membuf.of_string (Kernel.machine ctx.Kernel.kernel) ~auth:cap s;
+  (ctx', cap)
+
+let test_dhcp () =
+  let got_ip = ref 0 in
+  ignore
+    (boot_world (fun _w ctx ->
+         start_net ctx;
+         got_ip := ti (Result.get_ok (Kernel.call1 ctx ~import:"tcpip.ifconfig" []))));
+  Alcotest.(check int) "leased the expected address" Netsim.device_ip !got_ip
+
+let test_ping_reply () =
+  let reply = ref None in
+  ignore
+    (boot_world (fun w ctx ->
+         start_net ctx;
+         (* The gateway pings us; the stack must answer. *)
+         Netsim.ping_of_death_at w.net
+           ~cycles:(Machine.cycles w.sys.System.machine + 10_000)
+           ~size:32;
+         (* size 32 is a normal ping, not of death *)
+         Kernel.sleep ctx 2_000_000;
+         reply := Netsim.last_icmp_echo_reply w.net));
+  match !reply with
+  | Some body -> Alcotest.(check int) "echo body length" 32 (String.length body)
+  | None -> Alcotest.fail "no echo reply seen"
+
+let test_dns_and_sntp () =
+  let ip = ref 0 and seconds = ref 0 in
+  ignore
+    (boot_world (fun w ctx ->
+         Netsim.add_dns_record w.net "broker.example.com" Netsim.broker_ip;
+         Netsim.set_wallclock w.net 1_234_567;
+         start_net ctx;
+         let ctx', name = str_arg ctx "broker.example.com" in
+         (match Kernel.call ctx' ~import:"netapi.socket_connect_tcp"
+                  [ quota ctx; name; iv 18; iv Netsim.broker_port ]
+          with
+         | Ok (h, _) when Cap.tag h ->
+             ip := 1;
+             ignore (Kernel.call ctx ~import:"netapi.socket_close" [ quota ctx; h ])
+         | Ok _ | Error _ -> ());
+         seconds := ti (Result.get_ok (Kernel.call1 ctx ~import:"sntp.sync" []))));
+  Alcotest.(check int) "DNS resolved and TCP connected" 1 !ip;
+  Alcotest.(check int) "SNTP synced" 1_234_567 !seconds
+
+let test_tcp_socket_data () =
+  (* Socket-level data transfer: the broker's TLS handshake responder
+     answers the first 9 bytes we send with a 13-byte ServerHello. *)
+  let got = ref 0 in
+  ignore
+    (boot_world (fun w ctx ->
+         start_net ctx;
+         let ctx', name = str_arg ctx (Packet.ipv4_to_string Netsim.broker_ip) in
+         match
+           Kernel.call ctx' ~import:"netapi.socket_connect_tcp"
+             [ quota ctx; name; iv (String.length (Packet.ipv4_to_string Netsim.broker_ip));
+               iv Netsim.broker_port ]
+         with
+         | Ok (h, _) when Cap.tag h ->
+             let ctx2, buf = Kernel.stack_alloc ctx 64 in
+             let hello = Tls_lite.client_hello ~nonce:1 ~secret:42 in
+             Membuf.of_string w.sys.System.machine ~auth:buf hello;
+             ignore
+               (Kernel.call ctx2 ~import:"netapi.socket_send"
+                  [ h; buf; iv (String.length hello) ]);
+             (match
+                Kernel.call ctx2 ~import:"netapi.socket_recv"
+                  [ h; buf; iv 64; iv 10_000_000 ]
+              with
+             | Ok (v, _) -> got := ti v
+             | Error _ -> ());
+             ignore (Kernel.call ctx ~import:"netapi.socket_close" [ quota ctx; h ])
+         | Ok _ | Error _ -> Alcotest.fail "connect failed"));
+  Alcotest.(check int) "ServerHello received over TCP" 13 !got
+
+let connect_mqtt w ctx =
+  ignore w;
+  let ctx', name = str_arg ctx (Packet.ipv4_to_string Netsim.broker_ip) in
+  match
+    Kernel.call ctx' ~import:"mqtt.connect"
+      [ quota ctx; name; iv (String.length (Packet.ipv4_to_string Netsim.broker_ip));
+        iv Netsim.broker_port ]
+  with
+  | Ok (h, _) when Cap.tag h -> h
+  | Ok (v, _) -> Alcotest.failf "mqtt.connect error %d" (ti v)
+  | Error e -> Alcotest.failf "mqtt.connect call error: %a" Kernel.pp_call_error e
+
+let test_mqtt_subscribe_publish () =
+  let message = ref "" in
+  ignore
+    (boot_world (fun w ctx ->
+         start_net ctx;
+         let handle = connect_mqtt w ctx in
+         let ctx_t, topic = str_arg ctx "alerts" in
+         (match Kernel.call ctx_t ~import:"mqtt.subscribe" [ handle; topic; iv 6 ] with
+         | Ok (v, _) when ti v = 0 -> ()
+         | _ -> Alcotest.fail "subscribe failed");
+         (* Schedule a notification and await it. *)
+         Netsim.broker_publish_at w.net
+           ~cycles:(Machine.cycles w.sys.System.machine + 3_000_000)
+           ~topic:"alerts" ~message:"blink";
+         let ctx2, buf = Kernel.stack_alloc ctx 128 in
+         (match
+            Kernel.call ctx2 ~import:"mqtt.await" [ handle; buf; iv 128; iv 300_000_000 ]
+          with
+         | Ok (v, _) when ti v > 0 ->
+             message :=
+               Membuf.to_string w.sys.System.machine ~auth:buf ~len:(ti v)
+         | Ok (v, _) -> Alcotest.failf "await returned %d" (ti v)
+         | Error _ -> Alcotest.fail "await call failed");
+         ignore (Kernel.call ctx ~import:"mqtt.disconnect" [ quota ctx; handle ])));
+  Alcotest.(check string) "notification delivered" "blink" !message
+
+let test_ping_of_death_micro_reboot () =
+  let reboots = ref 0 and ip_after = ref 0 in
+  ignore
+    (boot_world (fun w ctx ->
+         ignore (Kernel.call1 ctx ~import:"tcpip.set_vulnerable" [ iv 1 ]);
+         start_net ctx;
+         (* The oversized ping overflows the stack's 256-byte buffer; the
+            CHERI trap fires the error handler, which micro-reboots the
+            TCP/IP compartment. *)
+         Netsim.ping_of_death_at w.net
+           ~cycles:(Machine.cycles w.sys.System.machine + 100_000)
+           ~size:1800;
+         Kernel.sleep ctx 5_000_000;
+         reboots := Tcpip.reboot_count w.stack.Netstack.tcpip;
+         (* The stack comes back: re-run DHCP and check connectivity. *)
+         start_net ctx;
+         ip_after := ti (Result.get_ok (Kernel.call1 ctx ~import:"tcpip.ifconfig" []))));
+  Alcotest.(check int) "exactly one micro-reboot" 1 !reboots;
+  Alcotest.(check int) "stack recovered" Netsim.device_ip !ip_after
+
+let suite =
+  [
+    Alcotest.test_case "dhcp lease" `Quick test_dhcp;
+    Alcotest.test_case "ping reply" `Quick test_ping_reply;
+    Alcotest.test_case "dns + sntp" `Quick test_dns_and_sntp;
+    Alcotest.test_case "tcp socket data" `Quick test_tcp_socket_data;
+    Alcotest.test_case "mqtt subscribe/publish" `Quick test_mqtt_subscribe_publish;
+    Alcotest.test_case "ping of death micro-reboot" `Quick test_ping_of_death_micro_reboot;
+  ]
+
+let () = Alcotest.run "cheriot_net" [ ("net", suite) ]

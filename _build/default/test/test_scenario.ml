@@ -1,0 +1,82 @@
+(* End-to-end assertions on the §5.3.3 case study (fast profile): the
+   full Fig. 7 storyline must reproduce deterministically. *)
+
+let run = lazy (Iot_scenario.run ~fast:true ())
+
+let test_phases_in_order () =
+  let r = Lazy.force run in
+  let names = List.map fst r.Iot_scenario.phases in
+  Alcotest.(check (list string)) "phase sequence"
+    [ "Setup"; "NTP Sync"; "App Setup"; "Steady"; "App Setup 2"; "Steady 2" ]
+    names;
+  let times = List.map snd r.Iot_scenario.phases in
+  Alcotest.(check bool) "monotonically increasing" true
+    (List.for_all2 (fun a b -> a <= b) times (List.tl times @ [ infinity ]))
+
+let test_exactly_one_micro_reboot () =
+  let r = Lazy.force run in
+  Alcotest.(check int) "one micro-reboot" 1 r.Iot_scenario.reboots
+
+let test_application_recovers () =
+  let r = Lazy.force run in
+  Alcotest.(check int) "LED blinked three times" 3 r.Iot_scenario.blinks
+
+let test_thirteen_compartments () =
+  (* §5.3.3: "This deployment has 13 compartments". *)
+  let r = Lazy.force run in
+  Alcotest.(check int) "compartments" 13 r.Iot_scenario.compartment_count
+
+let test_load_accounting_sane () =
+  let r = Lazy.force run in
+  Alcotest.(check bool) "samples exist" true (r.Iot_scenario.samples <> []);
+  List.iter
+    (fun s ->
+      if s.Iot_scenario.cpu_load < -0.01 || s.Iot_scenario.cpu_load > 1.01 then
+        Alcotest.failf "load out of range: %f" s.Iot_scenario.cpu_load)
+    r.Iot_scenario.samples;
+  Alcotest.(check bool) "average load in (0,1)" true
+    (r.Iot_scenario.avg_load > 0.0 && r.Iot_scenario.avg_load < 1.0)
+
+let test_app_setup_is_crypto_bound () =
+  (* The App Setup phases must show the highest load (the TLS handshake
+     without an accelerator, §5.3.3). *)
+  let r = Lazy.force run in
+  let in_phase p =
+    List.filter_map
+      (fun s ->
+        if s.Iot_scenario.phase = p then Some s.Iot_scenario.cpu_load else None)
+      r.Iot_scenario.samples
+  in
+  let max_of = List.fold_left max 0.0 in
+  let setup2 = max_of (in_phase "App Setup 2") in
+  let steady = max_of (in_phase "Steady 2") in
+  Alcotest.(check bool)
+    (Printf.sprintf "reconnect load %.2f dominates steady %.2f" setup2 steady)
+    true
+    (setup2 > steady)
+
+let test_deterministic () =
+  (* The simulation is deterministic: a second run reproduces the
+     result exactly. *)
+  let r1 = Lazy.force run in
+  let r2 = Iot_scenario.run ~fast:true () in
+  Alcotest.(check int) "reboots" r1.Iot_scenario.reboots r2.Iot_scenario.reboots;
+  Alcotest.(check int) "blinks" r1.Iot_scenario.blinks r2.Iot_scenario.blinks;
+  Alcotest.(check (float 0.0001)) "total time" r1.Iot_scenario.total_s
+    r2.Iot_scenario.total_s;
+  Alcotest.(check int) "sample count"
+    (List.length r1.Iot_scenario.samples)
+    (List.length r2.Iot_scenario.samples)
+
+let suite =
+  [
+    Alcotest.test_case "phases in order" `Quick test_phases_in_order;
+    Alcotest.test_case "one micro-reboot" `Quick test_exactly_one_micro_reboot;
+    Alcotest.test_case "application recovers" `Quick test_application_recovers;
+    Alcotest.test_case "thirteen compartments" `Quick test_thirteen_compartments;
+    Alcotest.test_case "load accounting sane" `Quick test_load_accounting_sane;
+    Alcotest.test_case "crypto-bound reconnect" `Quick test_app_setup_is_crypto_bound;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]
+
+let () = Alcotest.run "cheriot_scenario" [ ("iot-scenario", suite) ]
