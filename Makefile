@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test ci campaign bench clean
+
+all: build
+
+build:
+	dune build
+
+# Quick tests: the full suite, with the fault campaign in its 8-scenario
+# quick mode (FAULT_CAMPAIGN_ITERS unset).
+test:
+	dune runtest
+
+ci: build test
+
+# Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
+campaign:
+	dune exec bench/main.exe -- campaign
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -593,6 +593,30 @@ let bechamel_tests () =
       (Staged.stage (fun () -> ignore (Iot_scenario.run ~fast:true ())));
   ]
 
+(* Long-mode fault-injection campaign (the quick 8-scenario version
+   runs under `dune runtest`): 200 seeded scenarios by default,
+   FAULT_CAMPAIGN_ITERS overrides, any failing seed replays exactly. *)
+let campaign () =
+  let n = Fault_campaign.iters ~default:200 in
+  section
+    (Fmt.str "Fault-injection campaign (%d scenarios, seeds 1..%d)" n n);
+  let t0 = Unix.gettimeofday () in
+  let failures, outcomes = Fault_campaign.run ~base_seed:1 ~n () in
+  let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+  Fmt.pr "  scenarios              %10d@." (List.length outcomes);
+  Fmt.pr "  faults injected        %10d@."
+    (sum (fun o -> o.Fault_campaign.oc_faults));
+  Fmt.pr "  micro-reboots          %10d@."
+    (sum (fun o -> o.Fault_campaign.oc_reboots));
+  Fmt.pr "  svc calls ok / failed  %10d / %d@."
+    (sum (fun o -> o.Fault_campaign.oc_svc_ok))
+    (sum (fun o -> o.Fault_campaign.oc_svc_err));
+  Fmt.pr "  simulated cycles       %10d@."
+    (sum (fun o -> o.Fault_campaign.oc_cycles));
+  Fmt.pr "  invariant violations   %10d@." failures;
+  Fmt.pr "  wall clock             %12.1f s@." (Unix.gettimeofday () -. t0);
+  if failures > 0 then exit 1
+
 let wallclock () =
   section "Bechamel wall-clock suite (host cost of each experiment unit)";
   let open Bechamel in
@@ -643,6 +667,7 @@ let () =
           ablate_quarantine ();
           ablate_loadfilter ();
           ablate_revoker ()
+      | "campaign" -> campaign ()
       | "wallclock" -> wallclock ()
       | other -> Fmt.pr "unknown experiment %s@." other)
     targets

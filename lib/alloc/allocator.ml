@@ -104,7 +104,10 @@ type t = {
   quarantine : (int * int) Queue.t;  (** chunk header addr, release epoch *)
   mutable quarantined_bytes : int;
   mutable next_dynamic_vt : int;
+  mutable oom_hook : (size:int -> bool) option;
 }
+
+let set_oom_hook t h = t.oom_hook <- h
 
 (* Raw header access, cycle-charged through the privileged capability. *)
 let hdr_load t addr off = Machine.load t.machine ~auth:t.priv ~addr:(addr + off) ~size:4
@@ -115,6 +118,7 @@ let chunk_size t c = hdr_load t c 0
 let chunk_state t c = hdr_load t c 4
 
 let heap_size t = t.heap_limit - t.heap_base
+let heap_bounds t = (t.heap_base, t.heap_limit)
 let quarantined_bytes t = t.quarantined_bytes
 let live_allocations t = Hashtbl.length t.allocs
 
@@ -123,6 +127,41 @@ let free_bytes t =
     if c = 0 then acc else go (hdr_load t c 8) (acc + chunk_size t c)
   in
   go t.free_head 0
+
+(* Uncharged header reads for the integrity walks below: auditing the
+   heap must not advance the clock (a fault-injection campaign checks
+   invariants with the injector disarmed and the world stopped). *)
+let hdr_peek t addr off =
+  Memory.load_priv (Machine.mem t.machine) ~addr:(addr + off) ~size:4
+
+(* Walk the heap address space chunk by chunk.  Returns header address,
+   payload size and state for each chunk, in address order.  Raises
+   [Failure] on a structurally broken heap (bad size / unknown state). *)
+let heap_chunks t =
+  let rec go c acc =
+    if c = t.heap_limit then List.rev acc
+    else if c + header_size > t.heap_limit then
+      failwith (Printf.sprintf "chunk header at 0x%x overruns the heap" c)
+    else
+      let size = hdr_peek t c 0 in
+      let st = hdr_peek t c 4 in
+      if size < 0 || c + header_size + size > t.heap_limit then
+        failwith (Printf.sprintf "chunk at 0x%x has bad size %d" c size)
+      else
+        let state =
+          if st = st_free then `Free
+          else if st = st_live then `Live
+          else if st = st_quarantined then `Quarantined
+          else failwith (Printf.sprintf "chunk at 0x%x has bad state %d" c st)
+        in
+        go (c + header_size + size) ((c, size, state) :: acc)
+  in
+  go t.heap_base []
+
+let live_payload_regions t =
+  Hashtbl.fold (fun base info acc -> (base, info.a_size) :: acc) t.allocs []
+  |> List.sort compare
+
 
 (* Free-list manipulation (doubly linked through header words 8/12). *)
 
@@ -285,22 +324,112 @@ let del_ref info quota =
 
 let total_refs info = List.fold_left (fun a (_, n) -> a + n) 0 info.a_refs
 
+(* Integrity audit: the allocator's own data structures checked against
+   the heap (fault-campaign invariant). *)
+let check_integrity t =
+  match heap_chunks t with
+  | exception Failure msg -> Error msg
+  | chunks -> (
+      let errs = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+      (* Free-list consistency: every listed chunk is marked free and is
+         a real chunk; no cycles. *)
+      let on_list = Hashtbl.create 16 in
+      let rec walk c =
+        if c <> 0 then
+          if Hashtbl.mem on_list c then fail "free-list cycle at 0x%x" c
+          else begin
+            Hashtbl.replace on_list c ();
+            if not (List.exists (fun (a, _, st) -> a = c && st = `Free) chunks)
+            then fail "free-list entry 0x%x is not a free chunk" c;
+            walk (hdr_load t c 8)
+          end
+      in
+      walk t.free_head;
+      let live = ref 0 and qbytes = ref 0 in
+      List.iter
+        (fun (c, size, st) ->
+          match st with
+          | `Free ->
+              if not (Hashtbl.mem on_list c) then
+                fail "free chunk 0x%x is unreachable from the free list" c
+          | `Quarantined -> qbytes := !qbytes + size
+          | `Live -> (
+              incr live;
+              match Hashtbl.find_opt t.allocs (c + header_size) with
+              (* Chunks may carry an unsplittable tail of slack, but
+                 never less than the allocation nor a full chunk more. *)
+              | Some info
+                when size >= info.a_size && size < info.a_size + header_size + 8
+                -> ()
+              | Some info ->
+                  fail "live chunk 0x%x: header size %d but table size %d" c
+                    size info.a_size
+              | None -> fail "live chunk 0x%x has no allocation-table entry" c))
+        chunks;
+      if !live <> Hashtbl.length t.allocs then
+        fail "allocation table has %d entries but %d live chunks"
+          (Hashtbl.length t.allocs) !live;
+      if !qbytes <> t.quarantined_bytes then
+        fail "quarantine accounting: %d bytes walked, %d recorded" !qbytes
+          t.quarantined_bytes;
+      Hashtbl.iter
+        (fun base info ->
+          if total_refs info <= 0 then
+            fail "live allocation 0x%x has no references" base)
+        t.allocs;
+      match !errs with [] -> Ok () | e -> Error (String.concat "; " e))
+
+(* Quota conservation: for each given allocation capability (label,
+   payload address of the sealed quota object), the recorded [used]
+   counter must equal the bytes charged by live references. *)
+let check_quota_conservation t ~quotas =
+  let charged = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ info ->
+      List.iter
+        (fun (q, n) ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt charged q) in
+          Hashtbl.replace charged q (cur + (n * info.a_size)))
+        info.a_refs)
+    t.allocs;
+  let errs =
+    List.filter_map
+      (fun (label, q_addr) ->
+        let used =
+          Memory.load_priv (Machine.mem t.machine) ~addr:(q_addr + 4) ~size:4
+        in
+        let expect = Option.value ~default:0 (Hashtbl.find_opt charged q_addr) in
+        if used <> expect then
+          Some
+            (Printf.sprintf "quota %s: used=%d but live references charge %d"
+               label used expect)
+        else None)
+      quotas
+  in
+  match errs with [] -> Ok () | e -> Error (String.concat "; " e)
+
 (* The actual release: zero, set revocation bits, quarantine. *)
 let release_allocation t info =
   let c = info.a_base - header_size in
-  Machine.zero t.machine ~auth:t.priv ~addr:info.a_base ~len:info.a_size;
+  (* The chunk can be up to [header_size + 7] bytes larger than the
+     allocation when the fit was too tight to split; quarantine
+     bookkeeping is in chunk sizes so it matches what try_release later
+     reads back from the header. *)
+  let csize = chunk_size t c in
+  Machine.zero t.machine ~auth:t.priv ~addr:info.a_base ~len:csize;
   (* Per-granule: revocation-bit read-modify-write through the separate
      SRAM region plus quarantine bookkeeping (calibrated, see
      EXPERIMENTS.md). *)
   Machine.tick t.machine (32 * (info.a_size / Memory.granule_size));
-  Memory.set_revoked (Machine.mem t.machine) ~addr:info.a_base ~len:info.a_size;
+  Memory.set_revoked (Machine.mem t.machine) ~addr:info.a_base ~len:csize;
   hdr_store t c 4 st_quarantined;
   let epoch =
     Machine.revoker_epoch t.machine
     + if Machine.revoker_busy t.machine then 2 else 1
   in
   Queue.push (c, epoch) t.quarantine;
-  t.quarantined_bytes <- t.quarantined_bytes + info.a_size;
+  t.quarantined_bytes <- t.quarantined_bytes + csize;
   Hashtbl.remove t.allocs info.a_base;
   Machine.revoker_kick t.machine
 
@@ -330,6 +459,9 @@ let do_allocate t q size =
      verification): calibrated against the paper's measured allocator. *)
   Machine.tick t.machine (500 + (9 * (align8 (max size 1) / 8)));
   if size <= 0 then Error Bad_capability
+  else if
+    match t.oom_hook with Some f -> f ~size | None -> false
+  then Error No_memory
   else
     let size = align8 size in
     match charge_quota t q size with
@@ -528,6 +660,7 @@ let install kernel ?(drain_per_op = 2) ?heap_base ?heap_limit () =
       quarantined_bytes = 0;
       next_dynamic_vt =
         Loader.first_virtual_type + List.length ld.Loader.virtual_types + 64;
+      oom_hook = None;
     }
   in
   (* Zero the heap at boot so reuse can never leak pre-boot data. *)

@@ -77,9 +77,38 @@ val install :
 (* Introspection (used by benches and tests; not compartment calls) *)
 
 val heap_size : t -> int
+
+val heap_bounds : t -> int * int
+(** [(heap_base, heap_limit)] — the address span the allocator manages. *)
 val free_bytes : t -> int
 val quarantined_bytes : t -> int
 val live_allocations : t -> int
+
+val live_payload_regions : t -> (int * int) list
+(** [(payload base, size)] of every live allocation, in address order —
+    the target set for in-compartment memory-fault injection. *)
+
+val heap_chunks : t -> (int * int * [ `Free | `Live | `Quarantined ]) list
+(** Walk the heap: [(header address, payload size, state)] per chunk in
+    address order.  Raises [Failure] on a structurally broken heap. *)
+
+val check_integrity : t -> (unit, string) result
+(** Audit the allocator against the heap it manages: the chunk chain
+    tiles the heap exactly, the free list is acyclic and complete, every
+    live chunk has a referenced allocation-table entry, and quarantine
+    accounting matches.  Uncharged (does not advance the clock). *)
+
+val check_quota_conservation :
+  t -> quotas:(string * int) list -> (unit, string) result
+(** For each [(label, quota payload address)], check the recorded [used]
+    counter equals the bytes charged by live references — quotas neither
+    leak nor double-refund (§3.2.2 conservation). *)
+
+val set_oom_hook : t -> (size:int -> bool) option -> unit
+(** Fault injection: when the hook returns [true] for an allocation, the
+    allocator fails the request with [No_memory] exactly as if the heap
+    were exhausted (no quota is charged).  Used to exercise caller OOM
+    paths deterministically. *)
 
 (* Client API: real compartment calls into the allocator. *)
 

@@ -16,6 +16,7 @@ type t = {
   mutable stop : bool;
   mutable preempt_pending : bool;
   mutable irq_handlers : (int -> unit) list;
+  mutable call_fault_hook : (comp:string -> entry:string -> bool) option;
   pad_exec : Cap.t;
 }
 
@@ -108,6 +109,47 @@ let thread_name t i = t.threads.(i).tlayout.Loader.lt_name
 let idle_cycles t = t.idle
 let context_switches t = t.switches
 let add_irq_handler t h = t.irq_handlers <- t.irq_handlers @ [ h ]
+let set_call_fault_hook t h = t.call_fault_hook <- h
+
+let thread_state t i =
+  match t.threads.(i).state with
+  | Ready -> `Ready
+  | Running -> `Running
+  | Blocked -> `Blocked
+  | Finished -> `Finished
+
+(* Run-queue sanity: the structural invariants the scheduler loop relies
+   on, checked from outside (fault-campaign invariant). *)
+let check_sanity t =
+  let errs = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let running = ref 0 in
+  Array.iter
+    (fun th ->
+      (match th.state with Running -> incr running | _ -> ());
+      (match (th.state, th.deadline) with
+      | (Ready | Running | Finished), Some _ ->
+          fail "thread %d holds a wake deadline while %s" th.tid
+            (match th.state with Ready -> "ready" | Running -> "running"
+            | _ -> "finished")
+      | _ -> ());
+      (match (th.state, th.resume) with
+      | Blocked, None ->
+          fail "thread %d is blocked with no way to resume" th.tid
+      | _ -> ());
+      let sb = th.tlayout.Loader.lt_stack_base in
+      let ss = th.tlayout.Loader.lt_stack_size in
+      if th.watermark < sb || th.watermark > sb + ss then
+        fail "thread %d stack watermark 0x%x outside [0x%x..0x%x]" th.tid
+          th.watermark sb (sb + ss))
+    t.threads;
+  (match t.current with
+  | Some i when t.threads.(i).state <> Running ->
+      fail "current thread %d is not in the running state" i
+  | Some _ -> ()
+  | None -> if !running > 0 then fail "a thread is running with no current");
+  if !running > 1 then fail "%d threads running simultaneously" !running;
+  match !errs with [] -> Ok () | e -> Error (String.concat "; " e)
 
 (* Boot *)
 
@@ -157,6 +199,7 @@ let boot ?loader_size ?(quantum = 2000) ~machine fw =
           stop = false;
           preempt_pending = false;
           irq_handlers = [];
+          call_fault_hook = None;
           pad_exec =
             Cap.make_root ~base:Abi.return_pad ~top:(Abi.return_pad + 16)
               ~perms:Perm.Set.executable;
@@ -347,6 +390,16 @@ and dispatch t ~tid target =
         forced_unwind t th;
         Error Compartment_poisoned
       end
+      else if
+        (* Fault injection: a crash at the compartment-call boundary,
+           as if the callee trapped on its first instruction. *)
+        match t.call_fault_hook with
+        | Some f ->
+            f ~comp:comp.layout.Loader.lc_name
+              ~entry:entry.Firmware.entry_name
+        | None -> false
+      then
+        handle_callee_fault t ~tid comp callee_ctx "injected crash" (-1)
       else begin
         let impl =
           match List.assoc_opt entry.Firmware.entry_name comp.impls with

@@ -169,6 +169,23 @@ val reboot_count : t -> comp:string -> int
 val add_irq_handler : t -> (int -> unit) -> unit
 (** Called (with interrupts disabled) for each delivered interrupt. *)
 
+(* Fault injection and self-audit *)
+
+val set_call_fault_hook : t -> (comp:string -> entry:string -> bool) option -> unit
+(** When the hook returns [true] for a dispatched compartment call, the
+    callee is treated as having trapped on its first instruction: its
+    error handler runs, the switcher force-unwinds, and the caller gets
+    [Fault_in_callee].  The deterministic crash-injection point of the
+    fault campaign. *)
+
+val thread_state : t -> int -> [ `Ready | `Running | `Blocked | `Finished ]
+
+val check_sanity : t -> (unit, string) result
+(** Structural run-queue invariants, checkable from outside the
+    scheduler loop: wake deadlines only on blocked threads, blocked
+    threads resumable, at most one running thread consistent with the
+    current-thread slot, stack watermarks within stack bounds. *)
+
 (* Introspection for benches *)
 
 val with_interrupts_disabled : ctx -> (unit -> 'a) -> 'a

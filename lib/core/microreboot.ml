@@ -21,6 +21,9 @@ type limiter = {
 
 let limiters : (string, limiter) Hashtbl.t = Hashtbl.create 8
 
+let observer : (comp:string -> cycle:int -> unit) option ref = ref None
+let set_observer o = observer := o
+
 let set_rate_limit _k ~comp ~max_reboots ~window =
   Hashtbl.replace limiters comp
     { l_max = max_reboots; l_window = window; l_history = []; l_locked = false }
@@ -67,6 +70,9 @@ let perform ctx ~comp steps =
   (* Modelled reset latency, then step 5: reopen. *)
   Machine.tick (Kernel.machine k) !reboot_cycles;
   Kernel.note_reboot k ~comp;
+  (match !observer with
+  | Some f -> f ~comp ~cycle:(Machine.cycles (Kernel.machine k))
+  | None -> ());
   (* Step 5: reopen — unless the rate limiter says this compartment is
      being reboot-bombed. *)
   if note_and_check ctx comp then Kernel.poison k ~comp false

@@ -37,6 +37,10 @@ val perform : Kernel.ctx -> comp:string -> steps -> unit
 val count : Kernel.t -> comp:string -> int
 (** Completed micro-reboots of the compartment since boot. *)
 
+val set_observer : (comp:string -> cycle:int -> unit) option -> unit
+(** Module-level hook called after each completed reboot (fault-campaign
+    trace logging).  [None] uninstalls. *)
+
 (* Repeat-attack mitigation (§5.1.2): error handlers maintain
    availability, but an attacker who can trigger traps repeatedly could
    force a victim to spend all its cycles micro-rebooting.  The paper

@@ -1,0 +1,50 @@
+(** Seeded stress-test campaigns over the fault-injection engine.
+
+    Each scenario boots a fresh machine with the network world and a
+    three-compartment firmware image (a driver, a crashable service
+    with its own heap quota and a micro-rebooting error handler, and a
+    noise thread on the futex paths), arms the engine, runs a mixed
+    workload under fire, then disarms and audits:
+
+    - allocator structural integrity ({!Allocator.check_integrity});
+    - quota conservation across crashes and micro-reboots
+      ({!Allocator.check_quota_conservation});
+    - kernel and scheduler run-queue sanity;
+    - capability provenance: no stored capability anywhere in memory
+      gained authority (outside SRAM/MMIO, or into the heap but outside
+      a live allocation, or with excess permissions);
+    - availability: the service answers again after the campaign.
+
+    Scenarios are pure functions of their seed; a violating seed
+    replays the identical fault trace. *)
+
+type outcome = {
+  oc_seed : int;
+  oc_cycles : int;  (** simulated cycles the scenario ran *)
+  oc_faults : int;  (** fault decisions the engine took *)
+  oc_reboots : int;  (** micro-reboots of the service *)
+  oc_svc_ok : int;
+  oc_svc_err : int;  (** service calls that failed under fire *)
+  oc_probe_ok : bool;  (** the service answered after disarming *)
+  oc_violations : string list;  (** empty = all invariants held *)
+  oc_trace : string list;  (** the engine's fault history *)
+}
+
+val iters : default:int -> int
+(** Scenario count for the current run: [FAULT_CAMPAIGN_ITERS] from the
+    environment when set to a positive integer, else [default]. *)
+
+val run_scenario : ?steps:int -> seed:int -> unit -> outcome
+(** One scenario.  [steps] is the driver's iteration count (default
+    60); everything else derives from [seed]. *)
+
+val run :
+  ?verbose:bool ->
+  ?steps:int ->
+  base_seed:int ->
+  n:int ->
+  unit ->
+  int * outcome list
+(** Run seeds [base_seed .. base_seed + n - 1]; returns the number of
+    scenarios with violations (0 = campaign passed) and every outcome.
+    Violations are printed with their seed and full fault trace. *)

@@ -83,6 +83,12 @@ let set_deliver_hook m h = m.hook <- h
 let set_post_tick_hook m h = m.post_tick <- h
 let add_tick_listener m f = m.tick_listeners <- m.tick_listeners @ [ f ]
 let set_timer m d = m.timer_deadline <- d
+let timer_deadline m = m.timer_deadline
+
+let skew_timer m delta =
+  match m.timer_deadline with
+  | None -> ()
+  | Some d -> m.timer_deadline <- Some (max (m.cycles + 1) (d + delta))
 let revoker_epoch m = m.rev_epoch
 let revoker_busy m = match m.rev_state with Idle -> false | Sweeping _ -> true
 let revoker_interrupt_futex_word m = m.rev_futex

@@ -64,6 +64,13 @@ val set_deliver_hook : t -> (int -> unit) option -> unit
 val set_timer : t -> int option -> unit
 (** Absolute cycle deadline for the next timer interrupt (None = off). *)
 
+val timer_deadline : t -> int option
+
+val skew_timer : t -> int -> unit
+(** Shift the pending timer deadline by [delta] cycles (fault injection:
+    a drifting or glitching timer).  Clamped so the deadline never moves
+    into the past; no-op when no timer is armed. *)
+
 val add_tick_listener : t -> (int -> unit) -> unit
 (** Called on every [tick] with the current cycle count, before
     interrupt delivery.  Used by simulated external hardware (e.g. the

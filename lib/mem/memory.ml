@@ -158,6 +158,36 @@ let blit_string_priv m ~addr s =
       m.caps.(g) <- None
     done
 
+(* Fault-injection primitives (single-event upsets).  Both are
+   privileged: they model hardware-level disturbance, not an access, so
+   no authorising capability is involved and no cycles are charged. *)
+
+let flip_bit m ~addr ~bit =
+  check_range m ~addr ~size:1 Write;
+  let off = addr - m.base in
+  let b = Char.code (Bytes.get m.data off) lxor (1 lsl (bit land 7)) in
+  Bytes.set m.data off (Char.chr b);
+  (* The tag covers the whole granule: corrupted bytes can no longer
+     decode to the capability that was stored there. *)
+  clear_granule_tag m addr
+
+let clear_tag_at m addr =
+  if not (contains m addr) then false
+  else begin
+    let g = granule_of m addr in
+    let had = m.caps.(g) <> None in
+    m.caps.(g) <- None;
+    had
+  end
+
+let iter_caps m f =
+  Array.iteri
+    (fun g c ->
+      match c with
+      | Some c -> f ~addr:(m.base + (g * granule_size)) c
+      | None -> ())
+    m.caps
+
 (* Checked access *)
 
 let check m ~auth ~perm ~addr ~size:sz access =

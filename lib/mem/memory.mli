@@ -78,6 +78,23 @@ val store_cap_priv : t -> addr:int -> Capability.t -> unit
 val zero_priv : t -> addr:int -> len:int -> unit
 val blit_string_priv : t -> addr:int -> string -> unit
 
+(* Fault injection (single-event upsets; used by the {!Fault_inject}
+   engine and by tests) *)
+
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** Flip one data bit ([bit] taken mod 8).  Clears the tag of the
+    granule touched: a corrupted granule can no longer decode to the
+    capability that was stored there — tags are never forged. *)
+
+val clear_tag_at : t -> int -> bool
+(** Invalidate the capability (if any) in the granule containing the
+    address; returns [true] if a tag was actually cleared.  Out-of-range
+    addresses are ignored. *)
+
+val iter_caps : t -> (addr:int -> Capability.t -> unit) -> unit
+(** Iterate every granule currently holding a valid capability, in
+    address order (invariant-checking aid). *)
+
 (* Revocation bits *)
 
 val set_revoked : t -> addr:int -> len:int -> unit

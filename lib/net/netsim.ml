@@ -26,10 +26,13 @@ type srv_conn = {
   mutable sc_subs : string list;
 }
 
+type chaos = Pass | Drop | Duplicate | Corrupt of int * int | Delay of int
+
 type t = {
   machine : Machine.t;
   latency : int;
   sntp_latency : int;
+  mutable chaos_hook : (string -> chaos) option;
   mutable pending : (int * string) list;  (** due cycle, frame to device *)
   rxq : string Queue.t;
   txbuf : Bytes.t;
@@ -54,10 +57,36 @@ let broker_publish_at t ~cycles ~topic ~message =
 
 let ping_of_death_at t ~cycles ~size = t.pods <- t.pods @ [ (cycles, size) ]
 
-(* Deliver a frame to the device after [delay] cycles. *)
+let set_chaos_hook t h = t.chaos_hook <- h
+
+let corrupt_frame frame off mask =
+  if String.length frame = 0 then frame
+  else begin
+    let b = Bytes.of_string frame in
+    let i = off mod Bytes.length b in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (mask land 0xff)));
+    Bytes.to_string b
+  end
+
+(* Deliver a frame to the device after [delay] cycles, subject to the
+   chaos hook (drop / duplicate / corrupt / delay — delaying past later
+   frames is how reordering happens). *)
 let to_device t ?delay frame =
   let delay = Option.value ~default:t.latency delay in
-  t.pending <- t.pending @ [ (Machine.cycles t.machine + delay, frame) ]
+  let deliver d f =
+    t.pending <- t.pending @ [ (Machine.cycles t.machine + d, f) ]
+  in
+  match t.chaos_hook with
+  | None -> deliver delay frame
+  | Some hook -> (
+      match hook frame with
+      | Pass -> deliver delay frame
+      | Drop -> ()
+      | Duplicate ->
+          deliver delay frame;
+          deliver delay frame
+      | Corrupt (off, mask) -> deliver delay (corrupt_frame frame off mask)
+      | Delay extra -> deliver (delay + max 0 extra) frame)
 
 let eth_to_device ?delay t ~src payload ~ethertype =
   to_device t ?delay
@@ -303,6 +332,7 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
       machine;
       latency;
       sntp_latency;
+      chaos_hook = None;
       pending = [];
       rxq = Queue.create ();
       txbuf = Bytes.make 2048 '\000';

@@ -30,6 +30,12 @@ val ntp_ip : Packet.ipv4
 val broker_ip : Packet.ipv4
 val broker_port : int
 
+type chaos = Pass | Drop | Duplicate | Corrupt of int * int | Delay of int
+(** Per-frame fault decision for traffic heading to the device.
+    [Corrupt (off, mask)] xors [mask] into the byte at [off] (mod frame
+    length); [Delay extra] adds [extra] cycles of latency — delaying one
+    frame past its successors is how reordering is injected. *)
+
 type t
 
 val attach :
@@ -52,6 +58,11 @@ val broker_publish_at : t -> cycles:int -> topic:string -> message:string -> uni
 val ping_of_death_at : t -> cycles:int -> size:int -> unit
 (** Schedule a malformed oversized ICMP echo request (§5.3.3's crash
     trigger). *)
+
+val set_chaos_hook : t -> (string -> chaos) option -> unit
+(** Consulted once per frame queued for delivery to the device (the
+    fault-injection engine's packet drop/corrupt/duplicate/reorder
+    point).  Frames the device transmits are unaffected. *)
 
 val frames_sent : t -> int
 val frames_received : t -> int

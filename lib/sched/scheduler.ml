@@ -65,6 +65,27 @@ let wake t addr count =
       if !l = [] then Hashtbl.remove t.waiters addr;
       !woken
 
+let waiting_words t = Hashtbl.length t.waiters
+
+(* Wait-queue sanity (fault-campaign invariant): the waiters table never
+   retains empty lists, and every waited-on word is a real address the
+   machine could have handed out (SRAM or MMIO). *)
+let check_sanity t =
+  let errs = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let sram_lo = Machine.sram_base t.machine in
+  let sram_hi = sram_lo + Machine.sram_size t.machine in
+  let devs = Machine.device_regions t.machine in
+  Hashtbl.iter
+    (fun addr l ->
+      if !l = [] then fail "empty waiter list retained for word 0x%x" addr;
+      let in_sram = addr >= sram_lo && addr < sram_hi in
+      let in_dev = List.exists (fun (_, b, s) -> addr >= b && addr < b + s) devs in
+      if not (in_sram || in_dev) then
+        fail "waiters parked on unmapped word 0x%x" addr)
+    t.waiters;
+  match !errs with [] -> Ok () | e -> Error (String.concat "; " e)
+
 (* Results over the call boundary. *)
 let r_woken = 0
 let r_timeout = 1

@@ -25,6 +25,13 @@ val install : Kernel.t -> t
 (** Register the scheduler's entries and hook the interrupt lines.  The
     interrupt-futex words live in the scheduler's globals. *)
 
+val waiting_words : t -> int
+(** Number of distinct futex words with parked waiters. *)
+
+val check_sanity : t -> (unit, string) result
+(** Wait-queue structural invariants: no retained empty waiter lists,
+    every waited-on word is a mapped address (fault-campaign check). *)
+
 (* Client API *)
 
 val futex_wait :

@@ -1,0 +1,23 @@
+(* Shared seeding for the property-test suites: every QCheck test draws
+   from an explicit [Random.State] built from one seed, so runs are
+   reproducible by default and any failure prints the seed to re-run
+   with [QCHECK_SEED=<seed> dune runtest]. *)
+
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> 0xc4e71057
+
+let rand () = Random.State.make [| seed |]
+
+let to_alcotest test =
+  let name, speed, run = QCheck_alcotest.to_alcotest ~rand:(rand ()) test in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf
+          "\n[qcheck] random seed was %d — reproduce with QCHECK_SEED=%d\n%!"
+          seed seed;
+        raise e )

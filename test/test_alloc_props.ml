@@ -1,6 +1,7 @@
 (* Property-based stress of the shared heap: randomized operation
    sequences (allocate / free / claim / release) must preserve the
-   allocator's core invariants. *)
+   allocator's core invariants.  Randomness comes from the explicit
+   seed in [Qcheck_seed], printed on failure for exact replay. *)
 
 module Cap = Capability
 module F = Firmware
@@ -175,8 +176,8 @@ let prop_no_live_overlap_with_reuse =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_alloc_invariants;
-    QCheck_alcotest.to_alcotest prop_no_live_overlap_with_reuse;
+    Qcheck_seed.to_alcotest prop_alloc_invariants;
+    Qcheck_seed.to_alcotest prop_no_live_overlap_with_reuse;
   ]
 
 let () = Alcotest.run "cheriot_alloc_props" [ ("heap-properties", suite) ]

@@ -1,0 +1,153 @@
+(* Property-based tests of the capability algebra (§2.1): every
+   derivation chain is monotone — bounds only narrow, permissions only
+   shrink, and no sequence of operations (including a seal/unseal
+   round-trip or a load-time attenuation) ever regains authority. *)
+
+module Cap = Capability
+
+let root =
+  Cap.make_root ~base:0x2000_0000 ~top:0x2000_4000 ~perms:Perm.Set.universe
+
+(* A derivation step, driven by generator-supplied integers that are
+   folded into (mostly) legal parameters; illegal ones exercise the
+   refusal paths and leave the chain where it was. *)
+type op =
+  | Narrow of int * int  (** move cursor, then set_bounds *)
+  | Mask of int  (** and_perms with this bitmask *)
+  | Move of int  (** reposition the cursor *)
+
+let pp_op = function
+  | Narrow (a, b) -> Printf.sprintf "N(%d,%d)" a b
+  | Mask m -> Printf.sprintf "M(0x%x)" m
+  | Move a -> Printf.sprintf "V(%d)" a
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 30)
+      (frequency
+         [
+           (3, map2 (fun a b -> Narrow (a, b)) nat nat);
+           (2, map (fun m -> Mask m) (int_bound 0xfff));
+           (2, map (fun a -> Move a) nat);
+         ]))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat ";" (List.map pp_op ops))
+    gen_ops
+
+let apply c = function
+  | Narrow (a, b) -> (
+      let len = Cap.length c in
+      let off = if len = 0 then 0 else a mod (len + 1) in
+      match Cap.with_address c (Cap.base c + off) with
+      | Error _ -> c
+      | Ok c' -> (
+          let room = Cap.top c' - Cap.address c' in
+          let l = if room <= 0 then 0 else b mod (room + 1) in
+          match Cap.set_bounds c' ~length:l with Error _ -> c' | Ok r -> r))
+  | Mask m -> (
+      match Cap.and_perms c (Perm.Set.of_bits m) with
+      | Error _ -> c
+      | Ok r -> r)
+  | Move a -> (
+      let len = Cap.length c in
+      let off = if len = 0 then 0 else a mod len in
+      match Cap.with_address c (Cap.base c + off) with Error _ -> c | Ok r -> r)
+
+let narrower ~than:c c' =
+  Cap.base c' >= Cap.base c
+  && Cap.top c' <= Cap.top c
+  && Perm.Set.subset (Cap.perms c') (Cap.perms c)
+
+let prop_chain_monotone =
+  QCheck.Test.make ~name:"derivation chains never widen bounds or perms"
+    ~count:500 arb_ops (fun ops ->
+      let rec go c = function
+        | [] -> true
+        | op :: rest ->
+            let c' = apply c op in
+            narrower ~than:c c' && narrower ~than:root c' && go c' rest
+      in
+      go root ops)
+
+let prop_set_bounds_exact =
+  QCheck.Test.make ~name:"set_bounds is exact and contained or refuses"
+    ~count:500
+    QCheck.(pair (int_bound 0x7fff) (int_bound 0x7fff))
+    (fun (a, b) ->
+      match Cap.with_address root (0x2000_0000 + a) with
+      | Error _ -> a >= 0x4000 (* only an out-of-bounds cursor may refuse *)
+      | Ok c -> (
+          match Cap.set_bounds c ~length:b with
+          | Error _ -> Cap.address c + b > Cap.top c
+          | Ok r ->
+              Cap.base r = Cap.address c
+              && Cap.top r = Cap.address c + b
+              && Cap.top r <= Cap.top root))
+
+let prop_and_perms_is_intersection =
+  QCheck.Test.make ~name:"and_perms computes exact intersections" ~count:500
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (m1, m2) ->
+      let s1 = Perm.Set.of_bits m1 and s2 = Perm.Set.of_bits m2 in
+      match Cap.and_perms root s1 with
+      | Error _ -> false
+      | Ok c1 -> (
+          match Cap.and_perms c1 s2 with
+          | Error _ -> false
+          | Ok c2 -> Perm.Set.equal (Cap.perms c2) (Perm.Set.inter s1 s2)))
+
+let prop_attenuate_loaded_monotone =
+  QCheck.Test.make
+    ~name:"load-time attenuation only removes permissions" ~count:500
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (am, lm) ->
+      let auth = Cap.exn (Cap.and_perms root (Perm.Set.of_bits am)) in
+      let loaded = Cap.exn (Cap.and_perms root (Perm.Set.of_bits lm)) in
+      let att = Cap.attenuate_loaded ~auth loaded in
+      Perm.Set.subset (Cap.perms att) (Cap.perms loaded)
+      && (Perm.Set.mem Perm.Load_mutable (Cap.perms auth)
+         || not (Perm.Set.mem Perm.Store (Cap.perms att)))
+      && (Perm.Set.mem Perm.Load_global (Cap.perms auth)
+         || not (Perm.Set.mem Perm.Global (Cap.perms att))))
+
+let prop_seal_roundtrip_preserves =
+  QCheck.Test.make
+    ~name:"seal/unseal round-trips without gaining authority" ~count:500
+    QCheck.(pair (int_bound 100) (int_bound 0xffff))
+    (fun (ot_seed, m) ->
+      let key_root =
+        Cap.make_sealing_root ~first:Cap.Otype.data_first
+          ~last:Cap.Otype.data_last
+      in
+      let ot =
+        Cap.Otype.data_first
+        + (ot_seed mod (Cap.Otype.data_last - Cap.Otype.data_first + 1))
+      in
+      let key = Cap.exn (Cap.with_address key_root ot) in
+      let c = Cap.exn (Cap.and_perms root (Perm.Set.of_bits m)) in
+      match Cap.seal ~key c with
+      | Error _ -> false
+      | Ok s -> (
+          Cap.is_sealed s
+          &&
+          match Cap.unseal ~key s with
+          | Error _ -> false
+          | Ok u ->
+              Cap.base u = Cap.base c
+              && Cap.top u = Cap.top c
+              && Perm.Set.equal (Cap.perms u) (Cap.perms c)
+              && not (Cap.is_sealed u)))
+
+let suite =
+  List.map Qcheck_seed.to_alcotest
+    [
+      prop_chain_monotone;
+      prop_set_bounds_exact;
+      prop_and_perms_is_intersection;
+      prop_attenuate_loaded_monotone;
+      prop_seal_roundtrip_preserves;
+    ]
+
+let () = Alcotest.run "cheriot_cap_props" [ ("capability-algebra", suite) ]

@@ -1,0 +1,50 @@
+(* The mixed-fault campaign in quick mode (the 200-scenario long mode
+   lives behind `bench campaign` / FAULT_CAMPAIGN_ITERS), plus the
+   determinism contract: a scenario is a pure function of its seed, so
+   any failure replays byte-for-byte. *)
+
+let test_campaign_quick () =
+  let n = Fault_campaign.iters ~default:8 in
+  let failures, outcomes = Fault_campaign.run ~base_seed:1_000 ~n () in
+  Alcotest.(check int) "no invariant violations" 0 failures;
+  let faults =
+    List.fold_left (fun a o -> a + o.Fault_campaign.oc_faults) 0 outcomes
+  in
+  Alcotest.(check bool) "faults were actually injected" true (faults > 0);
+  let reboots =
+    List.fold_left (fun a o -> a + o.Fault_campaign.oc_reboots) 0 outcomes
+  in
+  ignore reboots (* crash faults are rare; reboots may be zero in 8 runs *)
+
+let test_replay_deterministic () =
+  let a = Fault_campaign.run_scenario ~seed:42 () in
+  let b = Fault_campaign.run_scenario ~seed:42 () in
+  Alcotest.(check (list string))
+    "fault traces identical byte-for-byte" a.Fault_campaign.oc_trace
+    b.Fault_campaign.oc_trace;
+  Alcotest.(check int) "cycle counts identical" a.Fault_campaign.oc_cycles
+    b.Fault_campaign.oc_cycles;
+  Alcotest.(check int) "fault counts identical" a.Fault_campaign.oc_faults
+    b.Fault_campaign.oc_faults;
+  Alcotest.(check int) "reboot counts identical" a.Fault_campaign.oc_reboots
+    b.Fault_campaign.oc_reboots;
+  Alcotest.(check (list string))
+    "seed 42 holds all invariants" [] a.Fault_campaign.oc_violations
+
+let test_distinct_seeds_diverge () =
+  let a = Fault_campaign.run_scenario ~seed:1 () in
+  let b = Fault_campaign.run_scenario ~seed:2 () in
+  Alcotest.(check bool) "different seeds inject different faults" true
+    (a.Fault_campaign.oc_trace <> b.Fault_campaign.oc_trace)
+
+let suite =
+  [
+    Alcotest.test_case "quick campaign holds invariants" `Quick
+      test_campaign_quick;
+    Alcotest.test_case "seed replay is deterministic" `Quick
+      test_replay_deterministic;
+    Alcotest.test_case "distinct seeds diverge" `Quick
+      test_distinct_seeds_diverge;
+  ]
+
+let () = Alcotest.run "cheriot_fault_campaign" [ ("fault-campaign", suite) ]
