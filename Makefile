@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci campaign bench clean
+.PHONY: all build test ci campaign bench perf clean
 
 all: build
 
@@ -8,11 +8,12 @@ build:
 	dune build
 
 # Quick tests: the full suite, with the fault campaign in its 8-scenario
-# quick mode (FAULT_CAMPAIGN_ITERS unset).
+# quick mode (FAULT_CAMPAIGN_ITERS unset).  Includes the golden
+# simulated-cycles regression (bench/golden_cycles.expected).
 test:
 	dune runtest
 
-ci: build test
+ci: build test perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 campaign:
@@ -20,6 +21,15 @@ campaign:
 
 bench:
 	dune exec bench/main.exe
+
+# Host-performance check: times the tier-1 suite, then runs the
+# interpreter/scenario/campaign microbenchmarks and prints the delta
+# against the committed baseline (BENCH_core.json) on stderr.
+perf: build
+	@t0=$$(date +%s.%N); dune runtest --force >/dev/null 2>&1; \
+	t1=$$(date +%s.%N); \
+	BENCH_RUNTEST_S=$$(printf '%.3f' $$(echo "$$t1 $$t0" | awk '{print $$1-$$2}')) \
+	  dune exec bench/main.exe -- perf-json
 
 clean:
 	dune clean

@@ -617,6 +617,115 @@ let campaign () =
   Fmt.pr "  wall clock             %12.1f s@." (Unix.gettimeofday () -. t0);
   if failures > 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Host-performance baseline: BENCH_core.json (see EXPERIMENTS.md).   *)
+(* ------------------------------------------------------------------ *)
+
+(* A tight interpreter loop in a machine with the usual furniture
+   attached (network world, armed timer): arithmetic, a store and a load
+   per iteration, so the instruction-dispatch, memory and tick paths are
+   all on the measured loop. *)
+let ns_per_instr () =
+  let machine = Machine.create () in
+  ignore (Netsim.attach machine);
+  Machine.set_timer machine (Some 4_000_000_000);
+  let interp = Interp.create machine in
+  let iters = 500_000 in
+  let prog =
+    Isa.assemble ~name:"spin"
+      [
+        Isa.I (Isa.Li (4, 0));
+        Isa.I (Isa.Li (5, iters));
+        Isa.L "loop";
+        Isa.I (Isa.Addi (4, 4, 1));
+        Isa.I (Isa.Sw (4, 0, 6));
+        Isa.I (Isa.Lw (7, 0, 6));
+        Isa.I (Isa.Bne (4, 5, "loop"));
+        Isa.I Isa.Halt;
+      ]
+  in
+  let code_base = 0x4000_0000 in
+  Interp.map_segment interp ~base:code_base prog;
+  let pcc =
+    Cap.make_root ~base:code_base
+      ~top:(code_base + Isa.code_bytes prog)
+      ~perms:Perm.Set.executable
+  in
+  (Interp.regs interp).(6) <-
+    Cap.make_root ~base:(Machine.sram_base machine)
+      ~top:(Machine.sram_base machine + Machine.sram_size machine)
+      ~perms:Perm.Set.read_write;
+  let t0 = Unix.gettimeofday () in
+  (match Interp.run ~fuel:max_int interp (Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit)) with
+  | Interp.Halted -> ()
+  | o ->
+      failwith
+        (Fmt.str "perf-json: interpreter loop did not halt (%s)"
+           (match o with
+           | Interp.Trapped tr -> Fmt.str "%a" Interp.pp_trap tr
+           | Interp.Exited _ -> "exited"
+           | Interp.Halted -> assert false)));
+  let dt = Unix.gettimeofday () -. t0 in
+  dt *. 1e9 /. float_of_int (Interp.instret interp)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let perf_measurements () =
+  let ns = ns_per_instr () in
+  let fig7_fast_s = timed (fun () -> ignore (Iot_scenario.run ~fast:true ())) in
+  let campaign8_s =
+    timed (fun () ->
+        let failures, _ = Fault_campaign.run ~base_seed:1 ~n:8 () in
+        if failures > 0 then failwith "perf-json: campaign reported violations")
+  in
+  let base =
+    [
+      ("ns_per_instr", Json.Str (Printf.sprintf "%.1f" ns));
+      ("fig7_fast_s", Json.Str (Printf.sprintf "%.3f" fig7_fast_s));
+      ("campaign8_s", Json.Str (Printf.sprintf "%.3f" campaign8_s));
+    ]
+  in
+  (* `make perf` times the tier-1 suite outside this process and passes
+     it in; absent when run by hand. *)
+  match Sys.getenv_opt "BENCH_RUNTEST_S" with
+  | Some s -> base @ [ ("runtest_s", Json.Str s) ]
+  | None -> base
+
+let perf_json () =
+  let cur = perf_measurements () in
+  print_endline (Json.to_string ~pretty:true (Json.Obj cur));
+  (* Delta against the committed baseline, if we can find it. *)
+  let committed =
+    List.find_opt Sys.file_exists
+      [ "BENCH_core.json"; "../../BENCH_core.json"; "../../../BENCH_core.json" ]
+  in
+  match committed with
+  | None -> ()
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      (match Json.of_string s with
+      | Error e -> Fmt.epr "perf-json: cannot parse %s: %s@." path e
+      | Ok j ->
+          let after = Json.member "after" j in
+          Fmt.epr "@.delta vs committed %s (after):@." path;
+          List.iter
+            (fun (k, v) ->
+              match (Json.to_string_opt v, Json.to_string_opt (Json.member k after)) with
+              | Some now, Some ref_ -> (
+                  match (float_of_string_opt now, float_of_string_opt ref_) with
+                  | Some a, Some b when b > 0. ->
+                      Fmt.epr "  %-16s %10s  (committed %s, %+.0f%%)@." k now ref_
+                        ((a -. b) /. b *. 100.)
+                  | _ -> Fmt.epr "  %-16s %10s  (committed %s)@." k now ref_)
+              | _ -> ())
+            cur)
+
 let wallclock () =
   section "Bechamel wall-clock suite (host cost of each experiment unit)";
   let open Bechamel in
@@ -668,6 +777,7 @@ let () =
           ablate_loadfilter ();
           ablate_revoker ()
       | "campaign" -> campaign ()
+      | "perf-json" -> perf_json ()
       | "wallclock" -> wallclock ()
       | other -> Fmt.pr "unknown experiment %s@." other)
     targets

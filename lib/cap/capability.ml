@@ -107,6 +107,8 @@ let with_address c addr =
   if is_sealed c then Error Seal_violation
   else Ok { c with cursor = addr }
 
+let with_address_unsealed c addr = { c with cursor = addr }
+
 let incr_address c delta = with_address c (c.cursor + delta)
 
 let set_bounds c ~length =

@@ -93,6 +93,13 @@ val to_string : t -> string
 val with_address : t -> int -> (t, violation) result
 (** Move the cursor.  Fails on sealed capabilities. *)
 
+val with_address_unsealed : t -> int -> t
+(** [with_address] for callers that have already established the
+    capability is unsealed — e.g. immediately after a successful
+    [check_access], which rejects sealed capabilities.  Skips the seal
+    check and the [result] wrapper on the interpreter's per-instruction
+    path.  Identical to [with_address] on unsealed inputs. *)
+
 val incr_address : t -> int -> (t, violation) result
 
 val set_bounds : t -> length:int -> (t, violation) result

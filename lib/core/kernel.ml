@@ -214,10 +214,15 @@ let boot ?loader_size ?(quantum = 2000) ~machine fw =
       Machine.set_post_tick_hook machine
         (Some
            (fun () ->
-             if k.preempt_pending && k.current <> None then begin
-               k.preempt_pending <- false;
-               Effect.perform Eff_yield
-             end));
+             if k.preempt_pending then
+               if k.current <> None then begin
+                 k.preempt_pending <- false;
+                 Effect.perform Eff_yield
+               end
+               else
+                 (* Can't preempt yet: keep the machine on the event path
+                    so this hook runs again at the very next tick. *)
+                 Machine.request_attention machine));
       Ok k
 
 (* Registration *)

@@ -76,7 +76,24 @@ type t = {
   mutable regions : unit -> (int * int) list;
   mutable trace_rev : string list;
   mutable injected : int;
+  mutable listener : Machine.listener_handle option;
 }
+
+(* The engine's tick listener is parked except when it has something to
+   do: the next scheduled injection, or — during an interrupt storm —
+   every tick, since a storm raises its line once per tick. *)
+let update_wakeup t =
+  match t.listener with
+  | None -> ()
+  | Some h ->
+      let at =
+        if not t.armed then max_int
+        else
+          match t.storm with
+          | Some (_, n) when n > 0 -> Machine.cycles t.machine + 1
+          | _ -> t.next_due
+      in
+      Machine.set_listener_wakeup t.machine h ~at
 
 let log t fmt =
   Printf.ksprintf
@@ -182,21 +199,25 @@ let create ?(period = 4_000) ?(weights = default_weights) ?(storm_len = 12)
       regions = (fun () -> []);
       trace_rev = [];
       injected = 0;
+      listener = None;
     }
   in
-  Machine.add_tick_listener machine (fun now ->
-      if t.armed then begin
-        (match t.storm with
-        | Some (irq, n) when n > 0 ->
-            Machine.raise_irq machine irq;
-            t.storm <- (if n = 1 then None else Some (irq, n - 1))
-        | _ -> ());
-        if now >= t.next_due then begin
-          inject t;
-          t.injected <- t.injected + 1;
-          schedule_next t now
-        end
-      end);
+  t.listener <-
+    Some
+      (Machine.add_tick_listener ~period:0 machine (fun now ->
+           if t.armed then begin
+             (match t.storm with
+             | Some (irq, n) when n > 0 ->
+                 Machine.raise_irq machine irq;
+                 t.storm <- (if n = 1 then None else Some (irq, n - 1))
+             | _ -> ());
+             if now >= t.next_due then begin
+               inject t;
+               t.injected <- t.injected + 1;
+               schedule_next t now
+             end;
+             update_wakeup t
+           end));
   t
 
 let seed t = t.seed
@@ -206,12 +227,22 @@ let trace t = List.rev t.trace_rev
 let arm t =
   t.armed <- true;
   schedule_next t (Machine.cycles t.machine);
-  log t "engine armed (seed %d)" t.seed
+  log t "engine armed (seed %d)" t.seed;
+  update_wakeup t
 
 let disarm t =
   if t.armed then log t "engine disarmed";
   t.armed <- false;
-  t.storm <- None
+  t.storm <- None;
+  update_wakeup t
+
+let detach t =
+  disarm t;
+  match t.listener with
+  | None -> ()
+  | Some h ->
+      Machine.remove_tick_listener t.machine h;
+      t.listener <- None
 
 let set_region_source t f = t.regions <- f
 

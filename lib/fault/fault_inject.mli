@@ -67,6 +67,11 @@ val disarm : t -> unit
     verification passes disarmed so checkers observe a quiescent
     system. *)
 
+val detach : t -> unit
+(** Disarm and deregister the engine's tick listener from the machine,
+    so a harness reusing one machine across scenarios does not leak
+    listeners.  The engine is inert afterwards. *)
+
 val set_region_source : t -> (unit -> (int * int) list) -> unit
 (** Where memory faults may land: [(payload base, size)] list, normally
     {!Allocator.live_payload_regions}. *)

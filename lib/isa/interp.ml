@@ -5,6 +5,9 @@ type segment = { seg_base : int; prog : Isa.program }
 type t = {
   machine : Machine.t;
   mutable segments : segment list;
+  mutable last_seg : segment option;  (* one-entry fetch cache *)
+  mutable br_pc : int;  (* one-entry branch-target cache: pc ... *)
+  mutable br_target : int;  (* ... -> resolved absolute target *)
   regs : Cap.t array;
   specials : Cap.t array;
   mutable instret : int;
@@ -30,6 +33,9 @@ let create machine =
   {
     machine;
     segments = [];
+    last_seg = None;
+    br_pc = -1;
+    br_target = 0;
     regs = Array.make 16 Cap.null;
     specials = Array.make 3 Cap.null;
     instret = 0;
@@ -46,7 +52,8 @@ let map_segment t ~base prog =
       if base < seg_end s && base + Isa.code_bytes prog > s.seg_base then
         invalid_arg "map_segment: overlap")
     t.segments;
-  t.segments <- { seg_base = base; prog } :: t.segments
+  t.segments <- { seg_base = base; prog } :: t.segments;
+  t.last_seg <- None
 
 let segment_base t name =
   match List.find_opt (fun s -> Isa.name s.prog = name) t.segments with
@@ -57,11 +64,20 @@ let regs t = t.regs
 let get_special t i = t.specials.(i)
 let set_special t i c = t.specials.(i) <- c
 let instret t = t.instret
-let int_value v = Cap.exn (Cap.with_address Cap.null v)
+let int_value v = Cap.with_address_unsealed Cap.null v
 let to_int c = Cap.address c
 
+(* Straight-line execution stays within one segment, so a one-entry
+   cache turns the per-fetch list scan into two comparisons. *)
 let find_segment t addr =
-  List.find_opt (fun s -> addr >= s.seg_base && addr < seg_end s) t.segments
+  match t.last_seg with
+  | Some s when addr >= s.seg_base && addr < seg_end s -> t.last_seg
+  | _ ->
+      let r =
+        List.find_opt (fun s -> addr >= s.seg_base && addr < seg_end s) t.segments
+      in
+      (match r with Some _ -> t.last_seg <- r | None -> ());
+      r
 
 let get t r = if r = 0 then Cap.null else t.regs.(r)
 let set t r v = if r <> 0 then t.regs.(r) <- v
@@ -92,6 +108,19 @@ let apply_jump_target machine pc target =
   let back_kind = if prev then O.Return_enable else O.Return_disable in
   (unsealed, back_kind)
 
+(* Resolve a branch label to an absolute target.  A given pc always
+   resolves the same label to the same address (segments never unmap and
+   cannot overlap), so a one-entry cache keyed on pc removes the string
+   hash from hot loop back-edges. *)
+let resolve_label t seg pc label =
+  if t.br_pc = pc then t.br_target
+  else begin
+    let addr = seg.seg_base + (4 * Isa.label_index seg.prog label) in
+    t.br_pc <- pc;
+    t.br_target <- addr;
+    addr
+  end
+
 let step t pcc =
   let pc = Cap.address pcc in
   let seg =
@@ -102,18 +131,15 @@ let step t pcc =
   (match Cap.check_access ~perm:Perm.Execute ~addr:pc ~size:4 pcc with
   | Ok () -> ()
   | Error v -> trap pc (Cap_fault v));
-  let ins =
-    match Isa.fetch seg.prog ((pc - seg.seg_base) / 4) with
-    | Some i -> i
-    | None -> trap pc (Cap_fault Cap.Bounds_violation)
-  in
+  (* find_segment guarantees seg_base <= pc < seg_base + 4*length, so the
+     word index needs no further bounds check. *)
+  let ins = Isa.instr_at seg.prog ((pc - seg.seg_base) / 4) in
   Machine.tick t.machine Cost.instr;
   t.instret <- t.instret + 1;
   let m = t.machine in
-  let next = Cap.with_address_exn pcc (pc + 4) in
-  let goto label =
-    Cap.with_address_exn pcc (seg.seg_base + 4 * Isa.label_index seg.prog label)
-  in
+  (* check_access above rejects sealed pcc, so cursor moves are safe. *)
+  let next = Cap.with_address_unsealed pcc (pc + 4) in
+  let goto label = Cap.with_address_unsealed pcc (resolve_label t seg pc label) in
   let iv r = to_int (get t r) in
   match ins with
   | Isa.Halt -> `Halt

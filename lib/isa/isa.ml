@@ -111,6 +111,7 @@ let name p = p.prog_name
 let length p = Array.length p.instrs
 let code_bytes p = 4 * length p
 let fetch p i = if i >= 0 && i < Array.length p.instrs then Some p.instrs.(i) else None
+let instr_at p i = p.instrs.(i)
 
 let label_index p l =
   match Hashtbl.find_opt p.labels l with

@@ -110,6 +110,11 @@ val code_bytes : program -> int
 val fetch : program -> int -> instr option
 (** Instruction at word index. *)
 
+val instr_at : program -> int -> instr
+(** Like {!fetch} but for callers that have already bounds-checked the
+    index (the interpreter's fetch path); no option allocation.  Raises
+    [Invalid_argument] on an out-of-range index. *)
+
 val label_index : program -> string -> int
 (** Word index of a label. *)
 

@@ -10,17 +10,33 @@ module Device = struct
   let ram ~name ~size =
     let store = Bytes.make size '\000' in
     let read ~addr ~size:sz =
-      let rec go acc i =
-        if i < 0 then acc
-        else go ((acc lsl 8) lor Char.code (Bytes.get store (addr + i))) (i - 1)
-      in
-      if addr + sz <= size then go 0 (sz - 1) else 0
+      if addr + sz <= size then
+        match sz with
+        | 4 ->
+            Bytes.get_uint16_le store addr
+            lor (Bytes.get_uint16_le store (addr + 2) lsl 16)
+        | 1 -> Bytes.get_uint8 store addr
+        | 2 -> Bytes.get_uint16_le store addr
+        | _ ->
+            let rec go acc i =
+              if i < 0 then acc
+              else go ((acc lsl 8) lor Char.code (Bytes.get store (addr + i))) (i - 1)
+            in
+            go 0 (sz - 1)
+      else 0
     in
     let write ~addr ~size:sz v =
       if addr + sz <= size then
-        for i = 0 to sz - 1 do
-          Bytes.set store (addr + i) (Char.chr ((v lsr (8 * i)) land 0xff))
-        done
+        match sz with
+        | 4 ->
+            Bytes.set_uint16_le store addr (v land 0xffff);
+            Bytes.set_uint16_le store (addr + 2) ((v lsr 16) land 0xffff)
+        | 1 -> Bytes.set_uint8 store addr (v land 0xff)
+        | 2 -> Bytes.set_uint16_le store addr (v land 0xffff)
+        | _ ->
+            for i = 0 to sz - 1 do
+              Bytes.set store (addr + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+            done
     in
     { name; read; write }
 end
@@ -29,6 +45,15 @@ type region = { dev : Device.t; dev_base : int; dev_size : int }
 
 type revoker_state = Idle | Sweeping of { mutable next : int; mutable debt : int }
 
+type listener = {
+  lk_fn : int -> unit;
+  lk_period : int;  (* 0 = parked: fires only at explicitly set wakeups *)
+  mutable lk_next : int;  (* absolute cycle of next wakeup; max_int = never *)
+  mutable lk_alive : bool;
+}
+
+type listener_handle = listener
+
 type t = {
   mem : Memory.t;
   mutable cycles : int;
@@ -36,13 +61,19 @@ type t = {
   mutable pending : int;
   mutable hook : (int -> unit) option;
   mutable post_tick : (unit -> unit) option;
-  mutable tick_listeners : (int -> unit) list;
+  mutable listeners : listener array;
+  mutable n_listeners : int;
   mutable delivering : bool;
   mutable timer_deadline : int option;
-  mutable regions : region list;
+  mutable regions : region list;  (* newest first: find_device + layout order *)
+  mutable region_tbl : region array;  (* sorted by base, for lookup *)
+  mutable region_hot : region option;  (* last MMIO hit *)
   mutable rev_state : revoker_state;
   mutable rev_epoch : int;
   mutable rev_rate : int;
+  mutable rev_lag : int;  (* fast-path cycles not yet applied to the sweep *)
+  mutable horizon : int;  (* next cycle at which anything can happen; 0 = stale *)
+  mutable attention : bool;  (* sticky slow-path request (kernel preemption) *)
   rev_futex : int ref;
 }
 
@@ -53,53 +84,111 @@ let first_user_irq = 3
 let clock_mhz = 33
 let seconds_of_cycles c = float_of_int c /. (float_of_int clock_mhz *. 1e6)
 
-let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
-  {
-    mem = Memory.create ~base:sram_base ~size:sram_size;
-    cycles = 0;
-    irq_enabled = true;
-    pending = 0;
-    hook = None;
-    post_tick = None;
-    tick_listeners = [];
-    delivering = false;
-    timer_deadline = None;
-    regions = [];
-    rev_state = Idle;
-    rev_epoch = 0;
-    rev_rate = Cost.revoker_cycles_per_granule;
-    rev_futex = ref 0;
-  }
+(* Invalidate the cached event horizon; the next [tick] recomputes it. *)
+let dirty m = m.horizon <- 0
+
+let no_listener =
+  { lk_fn = ignore; lk_period = 0; lk_next = max_int; lk_alive = false }
 
 let mem m = m.mem
 let sram_base m = Memory.base m.mem
 let sram_size m = Memory.size m.mem
 let cycles m = m.cycles
 let irq_enabled m = m.irq_enabled
-let set_irq_enabled m b = m.irq_enabled <- b
-let raise_irq m n = m.pending <- m.pending lor (1 lsl n)
+
+let set_irq_enabled m b =
+  m.irq_enabled <- b;
+  dirty m
+
+let raise_irq m n =
+  m.pending <- m.pending lor (1 lsl n);
+  dirty m
+
 let pending m n = m.pending land (1 lsl n) <> 0
-let set_deliver_hook m h = m.hook <- h
-let set_post_tick_hook m h = m.post_tick <- h
-let add_tick_listener m f = m.tick_listeners <- m.tick_listeners @ [ f ]
-let set_timer m d = m.timer_deadline <- d
+
+let set_deliver_hook m h =
+  m.hook <- h;
+  dirty m
+
+let set_post_tick_hook m h =
+  m.post_tick <- h;
+  dirty m
+
+let request_attention m =
+  m.attention <- true;
+  dirty m
+
+(* Tick listeners: a dynamic array of records with absolute wakeup
+   cycles.  [period = 1] (the default) reproduces the legacy behaviour of
+   being called at every [tick]; [period = 0] parks the listener until an
+   explicit [set_listener_wakeup]. *)
+
+let add_tick_listener ?(period = 1) m f =
+  if period < 0 then invalid_arg "add_tick_listener: negative period";
+  if m.n_listeners = Array.length m.listeners then begin
+    (* Compact dead entries before growing so removed listeners don't
+       occupy slots forever. *)
+    let live = Array.of_list (List.filter (fun l -> l.lk_alive)
+                                (Array.to_list (Array.sub m.listeners 0 m.n_listeners)))
+    in
+    let n = Array.length live in
+    if n < m.n_listeners then begin
+      Array.blit live 0 m.listeners 0 n;
+      Array.fill m.listeners n (Array.length m.listeners - n) no_listener;
+      m.n_listeners <- n
+    end
+    else begin
+      let bigger = Array.make (2 * Array.length m.listeners) no_listener in
+      Array.blit m.listeners 0 bigger 0 m.n_listeners;
+      m.listeners <- bigger
+    end
+  end;
+  let l =
+    {
+      lk_fn = f;
+      lk_period = period;
+      lk_next = (if period > 0 then m.cycles + period else max_int);
+      lk_alive = true;
+    }
+  in
+  m.listeners.(m.n_listeners) <- l;
+  m.n_listeners <- m.n_listeners + 1;
+  dirty m;
+  l
+
+let remove_tick_listener m l =
+  l.lk_alive <- false;
+  l.lk_next <- max_int;
+  dirty m
+
+let set_listener_wakeup m l ~at =
+  if l.lk_alive then begin
+    l.lk_next <- at;
+    dirty m
+  end
+
+let set_timer m d =
+  m.timer_deadline <- d;
+  dirty m
+
 let timer_deadline m = m.timer_deadline
 
 let skew_timer m delta =
   match m.timer_deadline with
   | None -> ()
-  | Some d -> m.timer_deadline <- Some (max (m.cycles + 1) (d + delta))
+  | Some d ->
+      m.timer_deadline <- Some (max (m.cycles + 1) (d + delta));
+      dirty m
+
 let revoker_epoch m = m.rev_epoch
 let revoker_busy m = match m.rev_state with Idle -> false | Sweeping _ -> true
 let revoker_interrupt_futex_word m = m.rev_futex
-let set_revoker_rate m ~cycles_per_granule = m.rev_rate <- cycles_per_granule
 
-let revoker_kick m =
-  match m.rev_state with
-  | Sweeping _ -> ()
-  | Idle -> m.rev_state <- Sweeping { next = 0; debt = 0 }
-
-(* Progress the background revoker by [n] cycles of wall time. *)
+(* Progress the background revoker by [n] cycles of wall time.  Debt
+   arithmetic is additive, so one batched call here is equivalent to any
+   sequence of smaller calls totalling [n] — provided no tag was set or
+   cleared in between, which the event horizon and the tag-set hook
+   guarantee for the lazily accumulated [rev_lag]. *)
 let revoker_advance m n =
   match m.rev_state with
   | Idle -> ()
@@ -110,16 +199,86 @@ let revoker_advance m n =
       let total = Memory.granule_count m.mem in
       let remaining = total - s.next in
       let take = min steps remaining in
-      for g = s.next to s.next + take - 1 do
-        ignore (Memory.sweep_granule m.mem g)
+      let stop = s.next + take in
+      (* Only tagged granules can be affected by a sweep step; skip the
+         untagged stretches via the tag bitmap. *)
+      let g = ref s.next in
+      let continue = ref true in
+      while !continue do
+        match Memory.next_tagged m.mem ~from:!g with
+        | Some t when t < stop ->
+            ignore (Memory.sweep_granule m.mem t);
+            g := t + 1
+        | Some _ | None -> continue := false
       done;
-      s.next <- s.next + take;
+      s.next <- stop;
       if s.next >= total then begin
         m.rev_state <- Idle;
         m.rev_epoch <- m.rev_epoch + 1;
         incr m.rev_futex;
         raise_irq m revoker_irq
       end
+
+(* Apply cycles that passed on the fast path to the revoker sweep. *)
+let settle_revoker m =
+  if m.rev_lag > 0 then begin
+    let lag = m.rev_lag in
+    m.rev_lag <- 0;
+    revoker_advance m lag
+  end
+
+let revoker_kick m =
+  match m.rev_state with
+  | Sweeping _ -> ()
+  | Idle ->
+      (* Lag accumulated while idle predates this sweep: discard it
+         (advancing an idle revoker is a no-op). *)
+      m.rev_lag <- 0;
+      m.rev_state <- Sweeping { next = 0; debt = 0 };
+      dirty m
+
+let set_revoker_rate m ~cycles_per_granule =
+  settle_revoker m;  (* apply outstanding lag at the old rate *)
+  m.rev_rate <- cycles_per_granule;
+  dirty m
+
+let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
+  let m =
+    {
+      mem = Memory.create ~base:sram_base ~size:sram_size;
+      cycles = 0;
+      irq_enabled = true;
+      pending = 0;
+      hook = None;
+      post_tick = None;
+      listeners = Array.make 4 no_listener;
+      n_listeners = 0;
+      delivering = false;
+      timer_deadline = None;
+      regions = [];
+      region_tbl = [||];
+      region_hot = None;
+      rev_state = Idle;
+      rev_epoch = 0;
+      rev_rate = Cost.revoker_cycles_per_granule;
+      rev_lag = 0;
+      horizon = 0;
+      attention = false;
+      rev_futex = ref 0;
+    }
+  in
+  (* A tag appearing in memory is the one event the lazy revoker cannot
+     anticipate.  Settle the in-flight sweep against the pre-store tag
+     state first, so deferred sweep cycles that already elapsed can never
+     be credited against the new capability; and dirty the horizon, since
+     the new tag may now be the next granule the sweep touches. *)
+  Memory.set_tag_set_hook m.mem (fun () ->
+      match m.rev_state with
+      | Idle -> ()
+      | Sweeping _ ->
+          settle_revoker m;
+          dirty m);
+  m
 
 let deliver m =
   match m.hook with
@@ -145,19 +304,68 @@ let deliver m =
             drain ())
       end
 
+(* The event horizon: the earliest future cycle at which a tick could do
+   anything observable.  Components:
+     - a pending interrupt with delivery possible, or requested
+       attention: now;
+     - the timer deadline;
+     - the earliest live listener wakeup;
+     - the sweep reaching the next tagged granule (the only granules a
+       sweep step can affect), and sweep completion (epoch/IRQ).
+   Stale-but-early horizons are safe (a spurious slow tick is a no-op);
+   anything that could create an *earlier* event must call [dirty]. *)
+let recompute_horizon m =
+  let h = ref max_int in
+  let add c = if c < !h then h := c in
+  if m.attention then add 0;
+  if m.pending <> 0 && m.irq_enabled && m.hook <> None then add 0;
+  (match m.timer_deadline with Some d -> add d | None -> ());
+  for i = 0 to m.n_listeners - 1 do
+    let l = m.listeners.(i) in
+    if l.lk_alive && l.lk_next < !h then h := l.lk_next
+  done;
+  (match m.rev_state with
+  | Idle -> ()
+  | Sweeping s ->
+      let total = Memory.granule_count m.mem in
+      add (m.cycles + ((total - s.next) * m.rev_rate) - s.debt);
+      (match Memory.next_tagged m.mem ~from:s.next with
+      | Some g -> add (m.cycles + ((g - s.next + 1) * m.rev_rate) - s.debt)
+      | None -> ()));
+  m.horizon <- !h
+
+let slow_tick m n =
+  m.cycles <- m.cycles + n;
+  m.rev_lag <- m.rev_lag + n;
+  m.attention <- false;
+  settle_revoker m;
+  let count = m.n_listeners in
+  for i = 0 to count - 1 do
+    let l = m.listeners.(i) in
+    if l.lk_alive && m.cycles >= l.lk_next then begin
+      (* Re-arm before the call so the listener can override it. *)
+      l.lk_next <- (if l.lk_period > 0 then m.cycles + l.lk_period else max_int);
+      l.lk_fn m.cycles
+    end
+  done;
+  (match m.timer_deadline with
+  | Some d when m.cycles >= d ->
+      m.timer_deadline <- None;
+      raise_irq m timer_irq
+  | Some _ | None -> ());
+  deliver m;
+  (match m.post_tick with None -> () | Some f -> f ());
+  recompute_horizon m
+
 let tick m n =
-  if n > 0 then begin
-    m.cycles <- m.cycles + n;
-    revoker_advance m n;
-    List.iter (fun f -> f m.cycles) m.tick_listeners;
-    (match m.timer_deadline with
-    | Some d when m.cycles >= d ->
-        m.timer_deadline <- None;
-        raise_irq m timer_irq
-    | Some _ | None -> ());
-    deliver m;
-    match m.post_tick with None -> () | Some f -> f ()
-  end
+  if n > 0 then
+    if m.cycles + n < m.horizon then begin
+      (* Fast path: nothing can happen before [horizon], so the whole
+         tick reduces to advancing the clock and deferring sweep work. *)
+      m.cycles <- m.cycles + n;
+      m.rev_lag <- m.rev_lag + n
+    end
+    else slow_tick m n
 
 let run_revoker_to_completion m =
   while revoker_busy m do
@@ -167,7 +375,11 @@ let run_revoker_to_completion m =
 (* MMIO dispatch *)
 
 let add_device m ~base ~size dev =
-  m.regions <- { dev; dev_base = base; dev_size = size } :: m.regions
+  m.regions <- { dev; dev_base = base; dev_size = size } :: m.regions;
+  let tbl = Array.of_list m.regions in
+  Array.sort (fun a b -> compare a.dev_base b.dev_base) tbl;
+  m.region_tbl <- tbl;
+  m.region_hot <- None
 
 let device_regions m =
   List.rev_map (fun r -> (r.dev.Device.name, r.dev_base, r.dev_size)) m.regions
@@ -178,25 +390,43 @@ let find_device m name =
     m.regions
 
 let region_of m addr =
-  List.find_opt
-    (fun r -> addr >= r.dev_base && addr < r.dev_base + r.dev_size)
-    m.regions
+  match m.region_hot with
+  | Some r when addr >= r.dev_base && addr < r.dev_base + r.dev_size -> Some r
+  | _ ->
+      let tbl = m.region_tbl in
+      let found = ref None in
+      let lo = ref 0 and hi = ref (Array.length tbl - 1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let r = Array.unsafe_get tbl mid in
+        if r.dev_base <= addr then begin
+          if addr < r.dev_base + r.dev_size then found := Some r;
+          lo := mid + 1
+        end
+        else hi := mid - 1
+      done;
+      (match !found with Some _ as f -> m.region_hot <- f | None -> ());
+      !found
 
 let check ~auth ~perm ~addr ~size access =
   match Cap.check_access ~perm ~addr ~size auth with
   | Ok () -> ()
   | Error cause -> raise (Memory.Fault { Memory.cause; addr; access })
 
+(* SRAM accesses keep the historical fault/cycle ordering: capability
+   fault before any cycles are charged; alignment and load-filter faults
+   after the access cycles.  The split [Memory.check_aligned_filtered] +
+   [_priv] pair performs exactly one capability check per access. *)
 let load m ~auth ~addr ~size =
   check ~auth ~perm:Perm.Load ~addr ~size Memory.Read;
   if Memory.contains m.mem addr then begin
     tick m Cost.mem_word;
-    Memory.load ~auth m.mem ~addr ~size
+    Memory.check_aligned_filtered m.mem ~auth ~addr ~size Memory.Read;
+    Memory.load_priv m.mem ~addr ~size
   end
   else
     match region_of m addr with
     | Some r ->
-        check ~auth ~perm:Perm.Load ~addr ~size Memory.Read;
         tick m Cost.mmio;
         r.dev.Device.read ~addr:(addr - r.dev_base) ~size
     | None ->
@@ -208,12 +438,12 @@ let store m ~auth ~addr ~size v =
   check ~auth ~perm:Perm.Store ~addr ~size Memory.Write;
   if Memory.contains m.mem addr then begin
     tick m Cost.mem_word;
-    Memory.store ~auth m.mem ~addr ~size v
+    Memory.check_aligned_filtered m.mem ~auth ~addr ~size Memory.Write;
+    Memory.store_priv m.mem ~addr ~size v
   end
   else
     match region_of m addr with
     | Some r ->
-        check ~auth ~perm:Perm.Store ~addr ~size Memory.Write;
         tick m Cost.mmio;
         r.dev.Device.write ~addr:(addr - r.dev_base) ~size v
     | None ->

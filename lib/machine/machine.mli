@@ -5,7 +5,16 @@
     cycle-charged accessors here, and modelled work is charged with
     [tick].  Interrupts are delivered at [tick] boundaries through a
     pluggable hook (installed by the scheduler); the hook runs with
-    interrupts disabled. *)
+    interrupts disabled.
+
+    Internally [tick] is built around a {e next-event horizon}: the
+    machine caches the earliest future cycle at which anything observable
+    can happen (timer deadline, listener wakeup, the revoker sweep
+    reaching a tagged granule or completing, a deliverable interrupt) and
+    ticks that stay below it reduce to a single addition.  This is a host
+    performance optimisation only — simulated cycle counts, trap points
+    and interrupt timing are bit-identical to the straightforward
+    implementation (enforced by the golden-cycles regression test). *)
 
 (** A memory-mapped device. *)
 module Device : sig
@@ -71,15 +80,42 @@ val skew_timer : t -> int -> unit
     a drifting or glitching timer).  Clamped so the deadline never moves
     into the past; no-op when no timer is armed. *)
 
-val add_tick_listener : t -> (int -> unit) -> unit
-(** Called on every [tick] with the current cycle count, before
-    interrupt delivery.  Used by simulated external hardware (e.g. the
-    network world) to inject events; listeners must not call [tick]. *)
+(* Tick listeners — simulated external hardware (network world, fault
+   engine).  Listeners must not call [tick]. *)
+
+type listener_handle
+
+val add_tick_listener : ?period:int -> t -> (int -> unit) -> listener_handle
+(** Register a listener, O(1).  [period] (default 1) is the wakeup
+    cadence in cycles: the listener is called from the first [tick] that
+    reaches each wakeup, with the current cycle count, before interrupt
+    delivery.  The default reproduces the legacy every-tick behaviour;
+    [period = 0] parks the listener so it only runs at wakeups explicitly
+    scheduled with {!set_listener_wakeup} — event-driven hardware should
+    use this so quiescent devices cost nothing per tick. *)
+
+val set_listener_wakeup : t -> listener_handle -> at:int -> unit
+(** Schedule the listener's next wakeup at the given absolute cycle
+    (overrides any pending wakeup; [max_int] parks it).  For periodic
+    listeners this resets the phase; the period re-arms afterwards. *)
+
+val remove_tick_listener : t -> listener_handle -> unit
+(** Deregister; the handle becomes inert (double-remove is harmless).
+    Lets scenario teardown (fault engine, netsim) detach cleanly instead
+    of leaking listeners. *)
 
 val set_post_tick_hook : t -> (unit -> unit) option -> unit
-(** Called at the end of every [tick], after interrupt delivery has
-    completed.  The kernel uses it to take preemption decisions in a
-    context where performing an effect is safe. *)
+(** Called at the end of every tick that does event work, after interrupt
+    delivery has completed.  The kernel uses it to take preemption
+    decisions in a context where performing an effect is safe.  A hook
+    that needs to run again at the very next tick even without a new
+    event must call {!request_attention}. *)
+
+val request_attention : t -> unit
+(** Force the next [tick] onto the event path (and hence the post-tick
+    hook to run), regardless of the computed horizon.  Sticky until the
+    next event-path tick.  Used by the kernel when a preemption decision
+    is pending but cannot be taken yet. *)
 
 (* MMIO *)
 

@@ -20,8 +20,12 @@ type t = {
   size : int;
   data : Bytes.t;
   caps : Cap.t option array;
+  tagged : Bytes.t;  (** bitmap mirror of [caps]: bit g set iff caps.(g) <> None *)
+  mutable tagged_count : int;
   revoked : Bytes.t;
+  mutable revoked_count : int;
   mutable load_filter : bool;
+  mutable tag_set_hook : unit -> unit;
 }
 
 let create ~base ~size =
@@ -32,8 +36,12 @@ let create ~base ~size =
     size;
     data = Bytes.make size '\000';
     caps = Array.make granules None;
+    tagged = Bytes.make ((granules + 7) / 8) '\000';
+    tagged_count = 0;
     revoked = Bytes.make ((granules + 7) / 8) '\000';
+    revoked_count = 0;
     load_filter = true;
+    tag_set_hook = ignore;
   }
 
 let base m = m.base
@@ -42,6 +50,7 @@ let contains m addr = addr >= m.base && addr < m.base + m.size
 let set_load_filter m b = m.load_filter <- b
 let load_filter_enabled m = m.load_filter
 let granule_count m = m.size / granule_size
+let set_tag_set_hook m f = m.tag_set_hook <- f
 
 let fault cause addr access = raise (Fault { cause; addr; access })
 
@@ -51,6 +60,90 @@ let check_range m ~addr ~size:sz access =
   if addr < m.base || addr + sz > m.base + m.size then
     fault Cap.Bounds_violation addr access
 
+(* Tag bitmap maintenance.  Every write to [caps] goes through these two
+   so the bitmap and the count never drift from the array — including
+   under injected tag-clears and bit-flips. *)
+
+let cap_clear m g =
+  match Array.unsafe_get m.caps g with
+  | None -> ()
+  | Some _ ->
+      m.caps.(g) <- None;
+      let i = g lsr 3 in
+      Bytes.unsafe_set m.tagged i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get m.tagged i) land lnot (1 lsl (g land 7)) land 0xff));
+      m.tagged_count <- m.tagged_count - 1
+
+let cap_put m g c =
+  (* The hook (the machine's revoker) must observe memory *before* the
+     new tag appears: an in-flight sweep settles up to the present cycle
+     first, so the new capability cannot be credited to sweep steps that
+     already elapsed. *)
+  m.tag_set_hook ();
+  (match Array.unsafe_get m.caps g with
+  | Some _ -> ()
+  | None ->
+      let i = g lsr 3 in
+      Bytes.unsafe_set m.tagged i
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get m.tagged i) lor (1 lsl (g land 7))));
+      m.tagged_count <- m.tagged_count + 1);
+  m.caps.(g) <- Some c
+
+(* Clear all tags in granules [g0..g1], skipping over untagged runs a
+   bitmap byte at a time. *)
+let cap_clear_range m g0 g1 =
+  let g = ref g0 in
+  while !g <= g1 do
+    let i = !g lsr 3 in
+    if Char.code (Bytes.unsafe_get m.tagged i) = 0 then
+      (* whole bitmap byte clear: skip to the next byte boundary *)
+      g := (i + 1) lsl 3
+    else begin
+      cap_clear m !g;
+      incr g
+    end
+  done
+
+let next_tagged m ~from =
+  let total = granule_count m in
+  if from >= total then None
+  else begin
+    let bytes = Bytes.length m.tagged in
+    let lowest_bit b j0 =
+      let rec go j = if b land (1 lsl j) <> 0 then j else go (j + 1) in
+      go j0
+    in
+    let found = ref (-1) in
+    (* partial leading byte *)
+    let i0 = from lsr 3 in
+    let b0 =
+      Char.code (Bytes.unsafe_get m.tagged i0)
+      land lnot ((1 lsl (from land 7)) - 1)
+      land 0xff
+    in
+    if b0 <> 0 then found := (i0 lsl 3) lor lowest_bit b0 (from land 7)
+    else begin
+      (* word-at-a-time over the rest of the bitmap *)
+      let i = ref (i0 + 1) in
+      while !found < 0 && !i + 8 <= bytes do
+        if Bytes.get_int64_le m.tagged !i = 0L then i := !i + 8
+        else begin
+          let j = ref !i in
+          while Char.code (Bytes.unsafe_get m.tagged !j) = 0 do
+            incr j
+          done;
+          found := (!j lsl 3) lor lowest_bit (Char.code (Bytes.unsafe_get m.tagged !j)) 0
+        end
+      done;
+      while !found < 0 && !i < bytes do
+        let b = Char.code (Bytes.unsafe_get m.tagged !i) in
+        if b <> 0 then found := (!i lsl 3) lor lowest_bit b 0 else incr i
+      done
+    end;
+    if !found >= 0 && !found < total then Some !found else None
+  end
+
 (* Revocation bitmap *)
 
 let rev_get m g =
@@ -58,9 +151,18 @@ let rev_get m g =
 
 let rev_set m g v =
   let i = g lsr 3 in
+  let mask = 1 lsl (g land 7) in
   let b = Char.code (Bytes.get m.revoked i) in
-  let b = if v then b lor (1 lsl (g land 7)) else b land lnot (1 lsl (g land 7)) in
-  Bytes.set m.revoked i (Char.chr (b land 0xff))
+  if v then begin
+    if b land mask = 0 then begin
+      Bytes.set m.revoked i (Char.chr ((b lor mask) land 0xff));
+      m.revoked_count <- m.revoked_count + 1
+    end
+  end
+  else if b land mask <> 0 then begin
+    Bytes.set m.revoked i (Char.chr (b land lnot mask land 0xff));
+    m.revoked_count <- m.revoked_count - 1
+  end
 
 let set_revoked m ~addr ~len =
   check_range m ~addr ~size:len Write;
@@ -76,33 +178,42 @@ let clear_revoked m ~addr ~len =
 
 let is_revoked m addr = contains m addr && rev_get m (granule_of m addr)
 
-let revoked_granule_count m =
-  let n = ref 0 in
-  for g = 0 to granule_count m - 1 do
-    if rev_get m g then incr n
-  done;
-  !n
+let revoked_granule_count m = m.revoked_count
 
-(* Raw (privileged) byte access *)
+(* Raw (privileged) byte access: word-wide for the common sizes, with a
+   byte loop for anything unusual.  Little-endian either way. *)
 
 let load_priv m ~addr ~size:sz =
   check_range m ~addr ~size:sz Read;
   let off = addr - m.base in
-  let rec go acc i =
-    if i < 0 then acc
-    else go ((acc lsl 8) lor Char.code (Bytes.get m.data (off + i))) (i - 1)
-  in
-  go 0 (sz - 1)
+  match sz with
+  | 4 ->
+      (* two 16-bit halves: word-wide without boxing an Int32 *)
+      Bytes.get_uint16_le m.data off lor (Bytes.get_uint16_le m.data (off + 2) lsl 16)
+  | 1 -> Bytes.get_uint8 m.data off
+  | 2 -> Bytes.get_uint16_le m.data off
+  | _ ->
+      let rec go acc i =
+        if i < 0 then acc
+        else go ((acc lsl 8) lor Char.code (Bytes.get m.data (off + i))) (i - 1)
+      in
+      go 0 (sz - 1)
 
-let clear_granule_tag m addr =
-  m.caps.(granule_of m addr) <- None
+let clear_granule_tag m addr = cap_clear m (granule_of m addr)
 
 let store_priv m ~addr ~size:sz v =
   check_range m ~addr ~size:sz Write;
   let off = addr - m.base in
-  for i = 0 to sz - 1 do
-    Bytes.set m.data (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
-  done;
+  (match sz with
+  | 4 ->
+      Bytes.set_uint16_le m.data off (v land 0xffff);
+      Bytes.set_uint16_le m.data (off + 2) ((v lsr 16) land 0xffff)
+  | 1 -> Bytes.set_uint8 m.data off (v land 0xff)
+  | 2 -> Bytes.set_uint16_le m.data off (v land 0xffff)
+  | _ ->
+      for i = 0 to sz - 1 do
+        Bytes.set m.data (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+      done);
   (* Any data write invalidates the tag of the granule(s) touched. *)
   clear_granule_tag m addr;
   clear_granule_tag m (addr + sz - 1)
@@ -126,11 +237,12 @@ let store_cap_priv m ~addr c =
   check_range m ~addr ~size:granule_size Write;
   let lo, hi = raw_encoding c in
   let off = addr - m.base in
-  for i = 0 to 3 do
-    Bytes.set m.data (off + i) (Char.chr ((lo lsr (8 * i)) land 0xff));
-    Bytes.set m.data (off + 4 + i) (Char.chr ((hi lsr (8 * i)) land 0xff))
-  done;
-  m.caps.(granule_of m addr) <- (if Cap.tag c then Some c else None)
+  Bytes.set_uint16_le m.data off (lo land 0xffff);
+  Bytes.set_uint16_le m.data (off + 2) ((lo lsr 16) land 0xffff);
+  Bytes.set_uint16_le m.data (off + 4) (hi land 0xffff);
+  Bytes.set_uint16_le m.data (off + 6) ((hi lsr 16) land 0xffff);
+  let g = granule_of m addr in
+  if Cap.tag c then cap_put m g c else cap_clear m g
 
 let load_cap_priv m ~addr =
   if addr mod granule_size <> 0 then fault Cap.Bounds_violation addr Read;
@@ -146,17 +258,13 @@ let load_cap_priv m ~addr =
 let zero_priv m ~addr ~len =
   check_range m ~addr ~size:len Write;
   Bytes.fill m.data (addr - m.base) len '\000';
-  for g = granule_of m addr to granule_of m (addr + len - 1) do
-    m.caps.(g) <- None
-  done
+  cap_clear_range m (granule_of m addr) (granule_of m (addr + len - 1))
 
 let blit_string_priv m ~addr s =
   check_range m ~addr ~size:(String.length s) Write;
   Bytes.blit_string s 0 m.data (addr - m.base) (String.length s);
   if String.length s > 0 then
-    for g = granule_of m addr to granule_of m (addr + String.length s - 1) do
-      m.caps.(g) <- None
-    done
+    cap_clear_range m (granule_of m addr) (granule_of m (addr + String.length s - 1))
 
 (* Fault-injection primitives (single-event upsets).  Both are
    privileged: they model hardware-level disturbance, not an access, so
@@ -176,24 +284,29 @@ let clear_tag_at m addr =
   else begin
     let g = granule_of m addr in
     let had = m.caps.(g) <> None in
-    m.caps.(g) <- None;
+    cap_clear m g;
     had
   end
 
 let iter_caps m f =
-  Array.iteri
-    (fun g c ->
-      match c with
-      | Some c -> f ~addr:(m.base + (g * granule_size)) c
-      | None -> ())
-    m.caps
+  let rec go g =
+    match next_tagged m ~from:g with
+    | None -> ()
+    | Some g ->
+        (match m.caps.(g) with
+        | Some c -> f ~addr:(m.base + (g * granule_size)) c
+        | None -> assert false);
+        go (g + 1)
+  in
+  go 0
 
 (* Checked access *)
 
-let check m ~auth ~perm ~addr ~size:sz access =
-  (match Cap.check_access ~perm ~addr ~size:sz auth with
-  | Ok () -> ()
-  | Error cause -> fault cause addr access);
+(* Alignment and load-filter checks: the part of [check] beyond the
+   capability check itself.  Split out so the machine's SRAM fast path
+   (which has already run [Capability.check_access]) can apply it without
+   re-checking the capability. *)
+let check_aligned_filtered m ~auth ~addr ~size:sz access =
   if sz > 1 && addr mod sz <> 0 then fault Cap.Bounds_violation addr access;
   (* Revoked authority: the hardware guarantees accesses to freed objects
      trap as soon as free returns (§3.1.3).  The load filter catches
@@ -202,6 +315,12 @@ let check m ~auth ~perm ~addr ~size:sz access =
      free() call, which we model by checking the authority's base here. *)
   if m.load_filter && contains m (Cap.base auth) && rev_get m (granule_of m (Cap.base auth))
   then fault Cap.Tag_violation addr access
+
+let check m ~auth ~perm ~addr ~size:sz access =
+  (match Cap.check_access ~perm ~addr ~size:sz auth with
+  | Ok () -> ()
+  | Error cause -> fault cause addr access);
+  check_aligned_filtered m ~auth ~addr ~size:sz access
 
 let load ~auth m ~addr ~size:sz =
   check m ~auth ~perm:Perm.Load ~addr ~size:sz Read;
@@ -249,10 +368,9 @@ let sweep_granule m g =
   | None -> false
   | Some c ->
       if contains m (Cap.base c) && rev_get m (granule_of m (Cap.base c)) then begin
-        m.caps.(g) <- None;
+        cap_clear m g;
         true
       end
       else false
 
-let tagged_granule_count m =
-  Array.fold_left (fun n c -> match c with Some _ -> n + 1 | None -> n) 0 m.caps
+let tagged_granule_count m = m.tagged_count

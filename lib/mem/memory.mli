@@ -51,6 +51,20 @@ val load_filter_enabled : t -> bool
 
 (* Checked data access *)
 
+val check :
+  t -> auth:Capability.t -> perm:Perm.t -> addr:int -> size:int -> access -> unit
+(** The full access check applied by [load]/[store]: capability check
+    (tag, seal, permission, bounds), natural alignment, and the
+    load-filter test on the authority's base granule.  Raises [Fault]
+    exactly where the hardware would trap. *)
+
+val check_aligned_filtered :
+  t -> auth:Capability.t -> addr:int -> size:int -> access -> unit
+(** Only the alignment + load-filter part of [check], for callers that
+    have already run [Capability.check_access] on [auth] (the machine's
+    SRAM path checks the capability before charging cycles, then applies
+    this with the [_priv] accessors — one check instead of two). *)
+
 val load : auth:Capability.t -> t -> addr:int -> size:int -> int
 (** Load [size] (1, 2 or 4) bytes, little-endian, naturally aligned. *)
 
@@ -103,10 +117,22 @@ val is_revoked : t -> int -> bool
 (** Revocation bit of the granule containing the address. *)
 
 val revoked_granule_count : t -> int
+(** O(1): maintained incrementally by [set_revoked]/[clear_revoked]. *)
 
 (* Revoker support *)
 
 val granule_count : t -> int
+
+val next_tagged : t -> from:int -> int option
+(** Index of the first granule [>= from] holding a valid capability, or
+    [None].  Scans the tag bitmap a word at a time, so it is proportional
+    to the distance to the next live capability, not to [from]. *)
+
+val set_tag_set_hook : t -> (unit -> unit) -> unit
+(** Install a callback invoked immediately {e before} any granule's tag
+    is set (capability store or privileged write of a tagged value).  The
+    machine's revoker uses this to settle lazily-accumulated sweep work
+    against the pre-store tag state; at most one hook is installed. *)
 
 val sweep_granule : t -> int -> bool
 (** [sweep_granule m i] checks granule [i]: if it holds a capability whose
@@ -115,4 +141,6 @@ val sweep_granule : t -> int -> bool
     background revoker. *)
 
 val tagged_granule_count : t -> int
-(** Number of granules currently holding valid capabilities (test aid). *)
+(** Number of granules currently holding valid capabilities.  O(1):
+    maintained incrementally alongside the tag bitmap; used by the
+    revoker's sweep scheduling and the allocator's heuristics. *)

@@ -44,6 +44,7 @@ type t = {
   mutable sent : int;
   mutable received : int;
   mutable last_echo_reply : string option;
+  mutable listener : Machine.listener_handle option;
 }
 
 let frames_sent t = t.sent
@@ -52,10 +53,24 @@ let last_icmp_echo_reply t = t.last_echo_reply
 let add_dns_record t name ip = t.dns <- (name, ip) :: t.dns
 let set_wallclock t s = t.wallclock <- s
 
-let broker_publish_at t ~cycles ~topic ~message =
-  t.publishes <- t.publishes @ [ (cycles, topic, message) ]
+(* The world is event-driven: the tick listener is parked until the
+   earliest due cycle across the three timed queues. *)
+let update_wakeup t =
+  match t.listener with
+  | None -> ()
+  | Some h ->
+      let at = List.fold_left (fun a (c, _) -> min a c) max_int t.pending in
+      let at = List.fold_left (fun a (c, _, _) -> min a c) at t.publishes in
+      let at = List.fold_left (fun a (c, _) -> min a c) at t.pods in
+      Machine.set_listener_wakeup t.machine h ~at
 
-let ping_of_death_at t ~cycles ~size = t.pods <- t.pods @ [ (cycles, size) ]
+let broker_publish_at t ~cycles ~topic ~message =
+  t.publishes <- t.publishes @ [ (cycles, topic, message) ];
+  update_wakeup t
+
+let ping_of_death_at t ~cycles ~size =
+  t.pods <- t.pods @ [ (cycles, size) ];
+  update_wakeup t
 
 let set_chaos_hook t h = t.chaos_hook <- h
 
@@ -74,7 +89,8 @@ let corrupt_frame frame off mask =
 let to_device t ?delay frame =
   let delay = Option.value ~default:t.latency delay in
   let deliver d f =
-    t.pending <- t.pending @ [ (Machine.cycles t.machine + d, f) ]
+    t.pending <- t.pending @ [ (Machine.cycles t.machine + d, f) ];
+    update_wakeup t
   in
   match t.chaos_hook with
   | None -> deliver delay frame
@@ -323,7 +339,8 @@ let fire_due t now =
       let body = String.make size 'X' in
       ip_to_device ~delay:0 t ~src_ip:gateway_ip ~proto:P.proto_icmp
         (P.encode_icmp { P.icmp_type = P.icmp_echo_request; icmp_code = 0; icmp_body = body }))
-    due_pods
+    due_pods;
+  update_wakeup t
 
 let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_0000)
     machine =
@@ -344,6 +361,7 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
       sent = 0;
       received = 0;
       last_echo_reply = None;
+      listener = None;
     }
   in
   let read ~addr ~size =
@@ -376,5 +394,14 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
   in
   Machine.add_device machine ~base:mmio_base ~size:mmio_size
     { Machine.Device.name = device_name; read; write };
-  Machine.add_tick_listener machine (fun now -> fire_due t now);
+  t.listener <-
+    Some (Machine.add_tick_listener ~period:0 machine (fun now -> fire_due t now));
+  update_wakeup t;
   t
+
+let detach t =
+  match t.listener with
+  | None -> ()
+  | Some h ->
+      Machine.remove_tick_listener t.machine h;
+      t.listener <- None

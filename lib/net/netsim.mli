@@ -46,7 +46,16 @@ val attach :
   t
 (** Create the world and register the device.  [latency] (cycles) is
     the one-way propagation + server turnaround (default ~1 ms at
-    33 MHz); [sntp_latency] lets the NTP phase of Fig. 7 be slow. *)
+    33 MHz); [sntp_latency] lets the NTP phase of Fig. 7 be slow.
+
+    The world registers a parked tick listener whose wakeup tracks the
+    earliest due cycle across its timed queues, so a quiescent network
+    costs nothing per simulated cycle. *)
+
+val detach : t -> unit
+(** Deregister the tick listener (the MMIO device stays mapped).  Lets a
+    harness that reuses one machine across scenarios drop the world
+    without leaking listeners. *)
 
 val add_dns_record : t -> string -> Packet.ipv4 -> unit
 val set_wallclock : t -> int -> unit

@@ -99,6 +99,53 @@ let test_revoker_sweep_duration () =
     true
     (abs (dt - expected) < 200)
 
+let test_listener_period () =
+  let m = mk () in
+  let fired = ref [] in
+  ignore (Machine.add_tick_listener ~period:10 m (fun c -> fired := c :: !fired));
+  Machine.tick m 5;
+  Alcotest.(check (list int)) "before due" [] !fired;
+  Machine.tick m 5;
+  Alcotest.(check (list int)) "fires at period" [ 10 ] !fired;
+  (* One big tick past several periods: listeners run at tick
+     granularity, so this is a single call at the current cycle. *)
+  Machine.tick m 25;
+  Alcotest.(check (list int)) "one call per tick" [ 35; 10 ] (!fired)
+
+let test_listener_every_tick_default () =
+  let m = mk () in
+  let calls = ref 0 in
+  ignore (Machine.add_tick_listener m (fun _ -> incr calls));
+  Machine.tick m 3;
+  Machine.tick m 1;
+  Machine.tick m 7;
+  Alcotest.(check int) "legacy: every tick call" 3 !calls
+
+let test_listener_remove () =
+  let m = mk () in
+  let calls = ref 0 in
+  let h = Machine.add_tick_listener m (fun _ -> incr calls) in
+  Machine.tick m 1;
+  Machine.tick m 1;
+  Machine.remove_tick_listener m h;
+  Machine.tick m 1;
+  Machine.tick m 1;
+  Alcotest.(check int) "stopped after remove" 2 !calls
+
+let test_listener_parked_wakeup () =
+  let m = mk () in
+  let fired = ref [] in
+  let h = Machine.add_tick_listener ~period:0 m (fun c -> fired := c :: !fired) in
+  Machine.tick m 50;
+  Alcotest.(check (list int)) "parked" [] !fired;
+  Machine.set_listener_wakeup m h ~at:80;
+  Machine.tick m 10;
+  Alcotest.(check (list int)) "still early" [] !fired;
+  Machine.tick m 30;
+  Alcotest.(check (list int)) "woken once" [ 90 ] !fired;
+  Machine.tick m 100;
+  Alcotest.(check (list int)) "parked again" [ 90 ] !fired
+
 let test_seconds_conversion () =
   Alcotest.(check bool) "33 MHz" true
     (abs_float (Machine.seconds_of_cycles 33_000_000 -. 1.0) < 1e-9)
@@ -113,6 +160,10 @@ let suite =
     Alcotest.test_case "irq disabled defers" `Quick test_irq_disabled_defers;
     Alcotest.test_case "revoker completes" `Quick test_revoker_sweep_completes;
     Alcotest.test_case "revoker duration" `Quick test_revoker_sweep_duration;
+    Alcotest.test_case "listener period" `Quick test_listener_period;
+    Alcotest.test_case "listener every tick" `Quick test_listener_every_tick_default;
+    Alcotest.test_case "listener remove" `Quick test_listener_remove;
+    Alcotest.test_case "listener parked wakeup" `Quick test_listener_parked_wakeup;
     Alcotest.test_case "seconds conversion" `Quick test_seconds_conversion;
   ]
 

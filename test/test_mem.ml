@@ -167,6 +167,24 @@ let test_sweep_granule () =
   Memory.clear_revoked m ~addr:(base + 1024) ~len:64;
   Alcotest.(check int) "no revoked granules" 0 (Memory.revoked_granule_count m)
 
+let test_tag_census () =
+  (* The O(1) tagged-granule count and the bitmap-driven next_tagged
+     scan that back the revoker's fast sweep. *)
+  let m = mk () in
+  let auth = rw_cap () in
+  Alcotest.(check int) "empty" 0 (Memory.tagged_granule_count m);
+  Memory.store_cap ~auth m ~addr:(base + 512) auth;
+  Memory.store_cap ~auth m ~addr:(base + 1024) auth;
+  Alcotest.(check int) "two tagged" 2 (Memory.tagged_granule_count m);
+  let next = Alcotest.(check (option int)) in
+  next "first from 0" (Some 64) (Memory.next_tagged m ~from:0);
+  next "first at itself" (Some 64) (Memory.next_tagged m ~from:64);
+  next "second" (Some 128) (Memory.next_tagged m ~from:65);
+  next "none past last" None (Memory.next_tagged m ~from:129);
+  Memory.store ~auth m ~addr:(base + 512) ~size:1 0;
+  Alcotest.(check int) "overwrite drops count" 1 (Memory.tagged_granule_count m);
+  next "skips cleared" (Some 128) (Memory.next_tagged m ~from:0)
+
 let test_zero () =
   let m = mk () in
   let auth = rw_cap () in
@@ -217,6 +235,7 @@ let suite =
     Alcotest.test_case "load filter" `Quick test_load_filter;
     Alcotest.test_case "filter checks base" `Quick test_load_filter_checks_base_not_cursor;
     Alcotest.test_case "revoker sweep" `Quick test_sweep_granule;
+    Alcotest.test_case "tag census" `Quick test_tag_census;
     Alcotest.test_case "zeroing" `Quick test_zero;
     QCheck_alcotest.to_alcotest prop_raw_roundtrip;
     QCheck_alcotest.to_alcotest prop_revoked_never_loads_tagged;
