@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci campaign bench perf clean
+.PHONY: all build test test-seeds ci campaign bench perf clean
 
 all: build
 
@@ -13,7 +13,20 @@ build:
 test:
 	dune runtest
 
-ci: build test perf
+# Re-run every QCheck property suite under several explicit seeds
+# (the suites read QCHECK_SEED; a failure prints the seed to replay).
+SEEDS ?= 1 7 42 1234 987654321
+PROP_TESTS = test_cap_props test_alloc_props test_mem_props test_obs_props
+
+test-seeds: build
+	@for s in $(SEEDS); do \
+	  for t in $(PROP_TESTS); do \
+	    echo "== QCHECK_SEED=$$s $$t =="; \
+	    QCHECK_SEED=$$s dune exec test/$$t.exe >/dev/null || exit 1; \
+	  done; \
+	done; echo "test-seeds: all property suites passed under seeds: $(SEEDS)"
+
+ci: build test test-seeds perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 campaign:

@@ -618,6 +618,141 @@ let campaign () =
   if failures > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Cycle-attributed tracing (lib/obs): run a workload under a trace   *)
+(* sink, then print the event log + per-compartment attribution       *)
+(* (`-- trace`, optionally --out chrome.json) or the flat metrics     *)
+(* table (`-- metrics`).  Output is a pure function of the workload,  *)
+(* pinned by test/golden_trace.expected.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The producer/consumer example (examples/producer_consumer.ml), run
+   silently: a sensor thread feeds six readings through the hardened
+   queue compartment to a lower-priority display thread, exercising
+   compartment calls, futex sleeps, the allocator and the revoker. *)
+let pc_firmware () =
+  System.image ~name:"producer-consumer"
+    ~sealed_objects:[ Allocator.alloc_capability ~name:"sensor_quota" ~quota:2048 ]
+    ~threads:
+      [
+        F.thread ~name:"sensor" ~comp:"sensor" ~entry:"run" ~priority:2
+          ~stack_size:2048 ();
+        F.thread ~name:"display" ~comp:"display" ~entry:"run" ~priority:1
+          ~stack_size:2048 ();
+      ]
+    [
+      F.compartment "sensor" ~globals_size:32
+        ~entries:[ F.entry "run" ~arity:0 ~min_stack:512 ]
+        ~imports:
+          (System.standard_imports @ [ F.Static_sealed { target = "sensor_quota" } ]);
+      F.compartment "display" ~globals_size:32
+        ~entries:[ F.entry "run" ~arity:0 ~min_stack:512 ]
+        ~imports:System.standard_imports;
+    ]
+
+let run_workload = function
+  | "producer_consumer" ->
+      let machine = Machine.create () in
+      let obs =
+        (* Reuse the CHERIOT_TRACE auto sink when one is attached so the
+           env knob and the subcommand agree on a single event stream. *)
+        match Machine.trace machine with
+        | Some o -> o
+        | None ->
+            let o = Obs.create () in
+            Machine.set_trace machine (Some o);
+            o
+      in
+      let sys = Result.get_ok (System.boot ~machine (pc_firmware ())) in
+      let k = sys.System.kernel in
+      let readings = 6 in
+      let handle_box = ref Cap.null in
+      Kernel.implement1 k ~comp:"sensor" ~entry:"run" (fun ctx _ ->
+          let l = Loader.find_comp (Kernel.loader k) "sensor" in
+          let quota =
+            Machine.load_cap machine ~auth:l.Loader.lc_import_cap
+              ~addr:
+                (Loader.import_slot_addr l
+                   (Loader.import_slot l "sealed:sensor_quota"))
+          in
+          (match Queue_comp.create ctx ~alloc_cap:quota ~elem_size:4 ~capacity:4 with
+          | Error _ -> ()
+          | Ok handle ->
+              handle_box := handle;
+              let ctx, elem = Kernel.stack_alloc ctx 8 in
+              for i = 1 to readings do
+                Machine.store machine ~auth:elem ~addr:(Cap.base elem) ~size:4
+                  (20 + (i * 3 mod 7));
+                ignore (Queue_comp.send ctx ~handle elem ());
+                Kernel.sleep ctx 20_000
+              done);
+          Cap.null);
+      Kernel.implement1 k ~comp:"display" ~entry:"run" (fun ctx _ ->
+          while not (Cap.tag !handle_box) do
+            Kernel.yield ctx
+          done;
+          let handle = !handle_box in
+          let ctx, into = Kernel.stack_alloc ctx 8 in
+          for _ = 1 to readings do
+            ignore (Queue_comp.recv ctx ~handle ~into ())
+          done;
+          Cap.null);
+      System.run sys;
+      (machine, obs)
+  | other -> failwith ("unknown trace workload " ^ other)
+
+let print_attribution machine obs =
+  let total = Machine.cycles machine in
+  Fmt.pr "attribution (total %d cycles):@." total;
+  List.iter
+    (fun (label, c) ->
+      Fmt.pr "  %-12s %10d  %5.1f%%@." label c
+        (100. *. float_of_int c /. float_of_int (max 1 total)))
+    (Obs.attribute ~total_cycles:total (Obs.events obs))
+
+let trace_cmd args =
+  let out, rest =
+    let rec go acc = function
+      | "--out" :: f :: rest -> (Some f, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  let workload =
+    match rest with
+    | [] -> "producer_consumer"
+    | [ w ] -> w
+    | _ -> failwith "usage: trace <workload> [--out trace.json]"
+  in
+  let machine, obs = run_workload workload in
+  section (Printf.sprintf "trace %s" workload);
+  List.iter (fun e -> Fmt.pr "%a@." Obs.pp_event e) (Obs.events obs);
+  Fmt.pr "events total=%d retained=%d dropped=%d@." (Obs.total obs)
+    (Obs.length obs) (Obs.dropped obs);
+  print_attribution machine obs;
+  match out with
+  | None -> ()
+  | Some f ->
+      let oc = open_out f in
+      output_string oc
+        (Json.to_string ~pretty:true (Obs.to_chrome (Obs.events obs)));
+      output_string oc "\n";
+      close_out oc;
+      Fmt.pr "wrote Chrome trace_event JSON to %s@." f
+
+let metrics_cmd args =
+  let workload =
+    match args with
+    | [] -> "producer_consumer"
+    | [ w ] -> w
+    | _ -> failwith "usage: metrics <workload>"
+  in
+  let machine, obs = run_workload workload in
+  print_endline
+    (Json.to_string ~pretty:true
+       (Obs.metrics ~total_cycles:(Machine.cycles machine) obs))
+
+(* ------------------------------------------------------------------ *)
 (* Host-performance baseline: BENCH_core.json (see EXPERIMENTS.md).   *)
 (* ------------------------------------------------------------------ *)
 
@@ -752,6 +887,10 @@ let wallclock () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | "trace" :: rest -> trace_cmd rest
+  | "metrics" :: rest -> metrics_cmd rest
+  | _ ->
   (* Default run: everything, with the fast Fig. 7 profile so the whole
      suite stays quick; `fig7` runs the paper-scale 52 s trace. *)
   let targets =

@@ -201,6 +201,9 @@ let try_release t =
         Memory.clear_revoked (Machine.mem t.machine) ~addr:(c + header_size) ~len:size;
         freelist_push t c;
         merge_right t c;
+        if Machine.tracing t.machine then
+          Machine.emit t.machine
+            (Obs.Release { base = c + header_size; size });
         true
       end
       else false
@@ -431,6 +434,8 @@ let release_allocation t info =
   Queue.push (c, epoch) t.quarantine;
   t.quarantined_bytes <- t.quarantined_bytes + csize;
   Hashtbl.remove t.allocs info.a_base;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Quarantine { base = info.a_base; size = csize });
   Machine.revoker_kick t.machine
 
 (* Ephemeral claims: consult every thread's hazard slots (§3.2.5). *)
@@ -483,6 +488,8 @@ let do_allocate t q size =
             let info = { a_base = base; a_size = size; a_refs = []; a_vt = 0 } in
             add_ref info q.q_addr;
             Hashtbl.replace t.allocs base info;
+            if Machine.tracing t.machine then
+              Machine.emit t.machine (Obs.Alloc { base; size });
             (* Memory was zeroed in free(); allocation returns it as-is. *)
             Ok (user_cap t ~addr:base ~len:size))
 
@@ -504,6 +511,9 @@ let do_free t q v =
       else if not (del_ref info q.q_addr) then Error Bad_capability
       else begin
         refund_quota t q info.a_size;
+        if Machine.tracing t.machine then
+          Machine.emit t.machine
+            (Obs.Free { base = info.a_base; size = info.a_size });
         if total_refs info = 0 then release_allocation t info;
         Ok ()
       end

@@ -350,7 +350,7 @@ let fault_info_of ~comp ~thread cause addr =
 (* The compartment-call dance: native -> interpreted switcher -> native
    callee -> interpreted switcher return -> native. *)
 
-let rec do_call t ~tid ~csp ~cgp ~sealed args =
+let rec do_call t ~tid ~caller ~csp ~cgp ~sealed args =
   let interp = t.interp in
   let th = t.threads.(tid) in
   th.hazards <- [];
@@ -362,19 +362,28 @@ let rec do_call t ~tid ~csp ~cgp ~sealed args =
   regs.(Isa.csp) <- csp;
   regs.(Isa.cgp) <- cgp;
   List.iteri (fun i a -> if i < 6 then regs.(Isa.ca0 + i) <- a) args;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Switcher_call { tid });
   match Interp.run interp Switcher.call_sentry with
-  | Interp.Exited target -> dispatch t ~tid target
-  | Interp.Trapped { tcause = Interp.Software s; _ } ->
-      if s = "insufficient stack for callee" then Error Insufficient_stack
-      else if s = "trusted stack overflow" then Error Trusted_stack_exhausted
-      else Error Invalid_import
-  | Interp.Trapped _ -> Error Invalid_import
+  | Interp.Exited target -> dispatch t ~tid ~caller target
+  | Interp.Trapped tr ->
+      if Machine.tracing t.machine then
+        Machine.emit t.machine (Obs.Switcher_abort { tid });
+      (match tr.Interp.tcause with
+      | Interp.Software s ->
+          if s = "insufficient stack for callee" then Error Insufficient_stack
+          else if s = "trusted stack overflow" then Error Trusted_stack_exhausted
+          else Error Invalid_import
+      | _ -> Error Invalid_import)
   | Interp.Halted -> assert false
 
-and dispatch t ~tid target =
+and dispatch t ~tid ~caller target =
   let addr = Cap.address target in
   match comp_of_code_addr t addr with
-  | None -> Error Invalid_import
+  | None ->
+      if Machine.tracing t.machine then
+        Machine.emit t.machine (Obs.Switcher_abort { tid });
+      Error Invalid_import
   | Some (comp, entry_idx) ->
       let th = t.threads.(tid) in
       let regs = Interp.regs t.interp in
@@ -382,6 +391,7 @@ and dispatch t ~tid target =
       let callee_cgp = regs.(Isa.cgp) in
       let ra_callee = regs.(Isa.ra) in
       let entry = comp.layout.Loader.lc_entries.(entry_idx) in
+      let callee = comp.layout.Loader.lc_name in
       let callee_ctx =
         {
           kernel = t;
@@ -391,8 +401,14 @@ and dispatch t ~tid target =
           cgp = callee_cgp;
         }
       in
+      if Machine.tracing t.machine then
+        Machine.emit t.machine
+          (Obs.Call_enter
+             { caller; callee; entry = entry.Firmware.entry_name; tid });
       if comp.poisoned then begin
         forced_unwind t th;
+        if Machine.tracing t.machine then
+          Machine.emit t.machine (Obs.Call_leave { callee; tid; faulted = true });
         Error Compartment_poisoned
       end
       else if
@@ -417,7 +433,7 @@ and dispatch t ~tid target =
         in
         let args = Array.init entry.Firmware.arity (fun i -> regs.(Isa.ca0 + i)) in
         match impl callee_ctx args with
-        | r0, r1 -> finish_call t ~tid ~callee_csp ~ra_callee (r0, r1)
+        | r0, r1 -> finish_call t ~tid ~callee ~callee_csp ~ra_callee (r0, r1)
         | exception Memory.Fault f ->
             handle_callee_fault t ~tid comp callee_ctx
               (Cap.violation_to_string f.Memory.cause)
@@ -427,7 +443,7 @@ and dispatch t ~tid target =
               (Cap.violation_to_string v) (-1)
       end
 
-and finish_call t ~tid ~callee_csp ~ra_callee (r0, r1) =
+and finish_call t ~tid ~callee ~callee_csp ~ra_callee (r0, r1) =
   let interp = t.interp in
   let th = t.threads.(tid) in
   Interp.set_special interp Isa.mtdc th.tlayout.Loader.lt_tstack;
@@ -436,8 +452,12 @@ and finish_call t ~tid ~callee_csp ~ra_callee (r0, r1) =
   regs.(Isa.ca0) <- r0;
   regs.(Isa.ca1) <- r1;
   regs.(Isa.csp) <- callee_csp;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Switcher_return { tid });
   match Interp.run interp ra_callee with
   | Interp.Exited pad when Cap.address pad = Abi.return_pad ->
+      if Machine.tracing t.machine then
+        Machine.emit t.machine (Obs.Call_leave { callee; tid; faulted = false });
       Ok (regs.(Isa.ca0), regs.(Isa.ca1))
   | Interp.Exited _ -> failwith "switcher return escaped to unknown address"
   | Interp.Trapped tr ->
@@ -460,6 +480,9 @@ and handle_callee_fault t ~tid comp ctx cause addr =
       | `Unwind -> ()
       | exception Memory.Fault _ | exception Cap.Derivation _ -> ()));
   forced_unwind t th;
+  if Machine.tracing t.machine then
+    Machine.emit t.machine
+      (Obs.Call_leave { callee = comp.layout.Loader.lc_name; tid; faulted = true });
   Error Fault_in_callee
 
 (* Public call API *)
@@ -479,7 +502,9 @@ let import_cap ctx name =
 
 let call ctx ~import args =
   let sealed = import_cap ctx import in
-  do_call ctx.kernel ~tid:ctx.thread_id ~csp:ctx.csp ~cgp:ctx.cgp ~sealed args
+  do_call ctx.kernel ~tid:ctx.thread_id
+    ~caller:(comp_name ctx.kernel ctx.comp_id)
+    ~csp:ctx.csp ~cgp:ctx.cgp ~sealed args
 
 let call1 ctx ~import args = Result.map fst (call ctx ~import args)
 
@@ -572,7 +597,10 @@ let sealed_export_for t comp entry =
 let thread_body t th () =
   let tl = th.tlayout in
   let sealed = sealed_export_for t tl.Loader.lt_comp tl.Loader.lt_entry in
-  ignore (do_call t ~tid:th.tid ~csp:tl.Loader.lt_stack ~cgp:Cap.null ~sealed [])
+  ignore
+    (do_call t ~tid:th.tid
+       ~caller:("thread:" ^ tl.Loader.lt_name)
+       ~csp:tl.Loader.lt_stack ~cgp:Cap.null ~sealed [])
 
 let handler t th =
   {
@@ -601,6 +629,8 @@ let handler t th =
         | Eff_suspend (deadline, register) ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
+                if Machine.tracing t.machine then
+                  Machine.emit t.machine (Obs.Thread_block { tid = th.tid });
                 th.state <- Blocked;
                 th.deadline <- deadline;
                 th.resume <- Some (fun reason -> Effect.Deep.continue k reason);
@@ -611,10 +641,19 @@ let handler t th =
                       th.deadline <- None;
                       th.wake_value <- reason;
                       th.state <- Ready;
+                      if Machine.tracing t.machine then
+                        Machine.emit t.machine
+                          (Obs.Thread_wake
+                             {
+                               tid = th.tid;
+                               reason =
+                                 (match reason with
+                                 | Woken _ -> "woken"
+                                 | Timed_out -> "timeout");
+                             });
                       true
                     end
-                    else false);
-                ignore t)
+                    else false))
         | _ -> None);
   }
 
@@ -651,6 +690,9 @@ let charge_switch t =
     (Cost.trap_entry + (2 * Cost.register_spill) + Cost.sched_decision)
 
 let run_one t th =
+  if Machine.tracing t.machine then
+    Machine.emit t.machine
+      (Obs.Thread_dispatch { tid = th.tid; name = th.tlayout.Loader.lt_name });
   (match t.last_ran with
   | Some last when last = th.tid -> ()
   | Some _ | None -> charge_switch t);
@@ -679,7 +721,10 @@ let wake_timeouts t =
       | Blocked, Some d when d <= now ->
           th.deadline <- None;
           th.wake_value <- Timed_out;
-          th.state <- Ready
+          th.state <- Ready;
+          if Machine.tracing t.machine then
+            Machine.emit t.machine
+              (Obs.Thread_wake { tid = th.tid; reason = "timeout" })
       | _ -> ())
     t.threads
 
@@ -718,6 +763,7 @@ let run ?until_cycles t =
             in
             match target with
             | Some d ->
+                if Machine.tracing m then Machine.emit m Obs.Sched_idle;
                 let now = Machine.cycles m in
                 let d =
                   match until_cycles with Some c -> min d (max (now + 1) c) | None -> d

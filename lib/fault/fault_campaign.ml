@@ -189,8 +189,9 @@ let check_stored_caps machine alloc =
       end);
   match !errs with [] -> Ok () | e -> Error (String.concat "; " e)
 
-let run_scenario ?(steps = 60) ~seed () =
+let run_scenario ?(steps = 60) ?trace ~seed () =
   let machine = Machine.create () in
+  (match trace with None -> () | Some o -> Machine.set_trace machine (Some o));
   let engine = Fault_inject.create ~seed machine in
   let net = Netsim.attach ~latency:4_000 machine in
   let violations = ref [] in

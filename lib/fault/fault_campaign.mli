@@ -34,9 +34,11 @@ val iters : default:int -> int
 (** Scenario count for the current run: [FAULT_CAMPAIGN_ITERS] from the
     environment when set to a positive integer, else [default]. *)
 
-val run_scenario : ?steps:int -> seed:int -> unit -> outcome
+val run_scenario : ?steps:int -> ?trace:Obs.t -> seed:int -> unit -> outcome
 (** One scenario.  [steps] is the driver's iteration count (default
-    60); everything else derives from [seed]. *)
+    60); everything else derives from [seed].  [trace] attaches an
+    event sink to the scenario's machine before boot (tracing is
+    observationally invisible, so the outcome is unchanged). *)
 
 val run :
   ?verbose:bool ->

@@ -95,9 +95,13 @@ let update_wakeup t =
       in
       Machine.set_listener_wakeup t.machine h ~at
 
+(* Every trace line has a twin [Obs.Fault_note] event with the identical
+   message and cycle stamp (test_fault_campaign pins the 1:1 match). *)
 let log t fmt =
   Printf.ksprintf
     (fun s ->
+      if Machine.tracing t.machine then
+        Machine.emit t.machine (Obs.Fault_note { note = s });
       t.trace_rev <-
         Printf.sprintf "[%d] %s" (Machine.cycles t.machine) s :: t.trace_rev)
     fmt
@@ -295,6 +299,8 @@ let observe_reboots t =
   Microreboot.set_observer
     (Some
        (fun ~comp ~cycle ->
+         let s = "micro-reboot completed: " ^ comp in
+         if Machine.tracing t.machine then
+           Machine.emit t.machine (Obs.Fault_note { note = s });
          t.trace_rev <-
-           Printf.sprintf "[%d] micro-reboot completed: %s" cycle comp
-           :: t.trace_rev))
+           Printf.sprintf "[%d] %s" cycle s :: t.trace_rev))

@@ -136,6 +136,8 @@ let step t pcc =
   let ins = Isa.instr_at seg.prog ((pc - seg.seg_base) / 4) in
   Machine.tick t.machine Cost.instr;
   t.instret <- t.instret + 1;
+  if t.instret land 1023 = 0 && Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Instr_sample { instret = t.instret });
   let m = t.machine in
   (* check_access above rejects sealed pcc, so cursor moves are safe. *)
   let next = Cap.with_address_unsealed pcc (pc + 4) in

@@ -74,6 +74,7 @@ type t = {
   mutable rev_lag : int;  (* fast-path cycles not yet applied to the sweep *)
   mutable horizon : int;  (* next cycle at which anything can happen; 0 = stale *)
   mutable attention : bool;  (* sticky slow-path request (kernel preemption) *)
+  mutable obs : Obs.t option;  (* trace sink; never affects simulation *)
   rev_futex : int ref;
 }
 
@@ -86,6 +87,17 @@ let seconds_of_cycles c = float_of_int c /. (float_of_int clock_mhz *. 1e6)
 
 (* Invalidate the cached event horizon; the next [tick] recomputes it. *)
 let dirty m = m.horizon <- 0
+
+(* Tracing.  Emission must stay observationally invisible: no [tick], no
+   simulated-memory access, no [dirty].  Hot paths check [tracing] first
+   so the event record is never even allocated when no sink is attached. *)
+
+let set_trace m o = m.obs <- o
+let trace m = m.obs
+let tracing m = m.obs <> None
+
+let emit m kind =
+  match m.obs with None -> () | Some o -> Obs.emit o ~cycle:m.cycles kind
 
 let no_listener =
   { lk_fn = ignore; lk_period = 0; lk_next = max_int; lk_alive = false }
@@ -212,10 +224,13 @@ let revoker_advance m n =
         | Some _ | None -> continue := false
       done;
       s.next <- stop;
+      if take > 0 && m.obs <> None then
+        emit m (Obs.Revoker_quantum { granules = take; next = stop });
       if s.next >= total then begin
         m.rev_state <- Idle;
         m.rev_epoch <- m.rev_epoch + 1;
         incr m.rev_futex;
+        if m.obs <> None then emit m (Obs.Revoker_done { epoch = m.rev_epoch });
         raise_irq m revoker_irq
       end
 
@@ -264,6 +279,7 @@ let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
       rev_lag = 0;
       horizon = 0;
       attention = false;
+      obs = Obs.auto ();
       rev_futex = ref 0;
     }
   in
@@ -297,7 +313,9 @@ let deliver m =
                 in
                 let n = first 0 in
                 m.pending <- m.pending land lnot (1 lsl n);
+                if m.obs <> None then emit m (Obs.Irq_enter { irq = n });
                 hook n;
+                if m.obs <> None then emit m (Obs.Irq_exit { irq = n });
                 drain ()
               end
             in

@@ -117,6 +117,24 @@ val request_attention : t -> unit
     next event-path tick.  Used by the kernel when a preemption decision
     is pending but cannot be taken yet. *)
 
+(* Tracing — see {!Obs}.  Attaching a sink is observationally invisible:
+   emission never ticks the clock, touches simulated memory or perturbs
+   the event horizon, so simulated cycle counts are bit-identical with
+   tracing on or off (enforced by the traced golden-cycles rule and
+   test_obs_props). *)
+
+val set_trace : t -> Obs.t option -> unit
+val trace : t -> Obs.t option
+(** The attached sink.  [create] attaches one automatically when the
+    [CHERIOT_TRACE] environment variable asks for it ({!Obs.auto}). *)
+
+val tracing : t -> bool
+
+val emit : t -> Obs.kind -> unit
+(** Append an event stamped with the current cycle; no-op without a
+    sink.  Hot paths should test {!tracing} first so the event payload
+    is not even allocated when tracing is off. *)
+
 (* MMIO *)
 
 val add_device : t -> base:int -> size:int -> Device.t -> unit

@@ -63,6 +63,8 @@ let wake t addr count =
       in
       l := go (List.rev !l) |> List.rev;
       if !l = [] then Hashtbl.remove t.waiters addr;
+      if !woken > 0 && Machine.tracing t.machine then
+        Machine.emit t.machine (Obs.Futex_wake { addr; woken = !woken });
       !woken
 
 let waiting_words t = Hashtbl.length t.waiters
@@ -104,6 +106,9 @@ let do_futex_wait t ctx word expected timeout =
       let v = Machine.load t.machine ~auth:word ~addr ~size:4 in
       if v <> expected then r_changed
       else begin
+        if Machine.tracing t.machine then
+          Machine.emit t.machine
+            (Obs.Futex_wait { addr; tid = ctx.Kernel.thread_id });
         let deadline =
           if timeout > 0 then Some (Machine.cycles t.machine + timeout) else None
         in

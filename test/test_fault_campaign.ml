@@ -31,6 +31,36 @@ let test_replay_deterministic () =
   Alcotest.(check (list string))
     "seed 42 holds all invariants" [] a.Fault_campaign.oc_violations
 
+(* Every line of the engine's fault trace must have a twin
+   [Obs.Fault_note] event in the machine's trace, with the identical
+   message and the identical cycle stamp — a 1:1 match, in order. *)
+let test_faults_appear_in_trace () =
+  let obs = Obs.create ~capacity:(1 lsl 16) () in
+  let o = Fault_campaign.run_scenario ~trace:obs ~seed:42 () in
+  Alcotest.(check int) "no trace events dropped" 0 (Obs.dropped obs);
+  let notes =
+    List.filter_map
+      (fun e ->
+        match e.Obs.kind with
+        | Obs.Fault_note { note } ->
+            Some (Printf.sprintf "[%d] %s" e.Obs.cycle note)
+        | _ -> None)
+      (Obs.events obs)
+  in
+  Alcotest.(check (list string))
+    "fault trace lines == Fault_note events (message + cycle stamp)"
+    o.Fault_campaign.oc_trace notes;
+  Alcotest.(check bool) "campaign actually injected faults" true
+    (o.Fault_campaign.oc_faults > 0);
+  (* The sink changes nothing observable: the traced scenario replays
+     byte-for-byte against an untraced run of the same seed. *)
+  let plain = Fault_campaign.run_scenario ~seed:42 () in
+  Alcotest.(check int) "cycles identical with trace sink attached"
+    plain.Fault_campaign.oc_cycles o.Fault_campaign.oc_cycles;
+  Alcotest.(check (list string))
+    "fault history identical with trace sink attached"
+    plain.Fault_campaign.oc_trace o.Fault_campaign.oc_trace
+
 let test_distinct_seeds_diverge () =
   let a = Fault_campaign.run_scenario ~seed:1 () in
   let b = Fault_campaign.run_scenario ~seed:2 () in
@@ -43,6 +73,8 @@ let suite =
       test_campaign_quick;
     Alcotest.test_case "seed replay is deterministic" `Quick
       test_replay_deterministic;
+    Alcotest.test_case "every injected fault appears in the trace" `Quick
+      test_faults_appear_in_trace;
     Alcotest.test_case "distinct seeds diverge" `Quick
       test_distinct_seeds_diverge;
   ]

@@ -1,0 +1,166 @@
+(* Property-based lockdown of the tracing layer: the ring buffer's
+   drop-oldest discipline, per-source stamp monotonicity, exact
+   attribution totals, and — the load-bearing invariant — that
+   attaching a trace sink leaves simulated cycle counts bit-identical
+   on randomized programs.  Randomness comes from the explicit seed in
+   [Qcheck_seed], printed on failure for exact replay. *)
+
+module F = Firmware
+module A = Allocator
+
+(* -------------------------------------------------------------------- *)
+(* Ring buffer: newer events are never dropped for older ones.          *)
+
+let gen_ring = QCheck.Gen.(pair (int_range 1 32) (int_range 0 100))
+
+let prop_ring_keeps_newest =
+  QCheck.Test.make ~name:"ring buffer retains exactly the newest events"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (cap, n) -> Printf.sprintf "cap=%d n=%d" cap n)
+       gen_ring)
+    (fun (cap, n) ->
+      let t = Obs.create ~capacity:cap () in
+      for i = 0 to n - 1 do
+        Obs.emit t ~cycle:i (Obs.Instr_sample { instret = i })
+      done;
+      let kept = min n cap in
+      let evs = Obs.events t in
+      Obs.total t = n
+      && Obs.length t = kept
+      && Obs.dropped t = n - kept
+      && List.length evs = kept
+      (* the retained window is exactly the emission suffix, in order *)
+      && List.for_all2
+           (fun e i -> e.Obs.cycle = i)
+           evs
+           (List.init kept (fun j -> n - kept + j)))
+
+(* -------------------------------------------------------------------- *)
+(* Randomized programs on a real system, with or without a sink.        *)
+
+let firmware () =
+  System.image ~name:"obs-props"
+    ~sealed_objects:[ A.alloc_capability ~name:"q" ~quota:16384 ]
+    ~threads:
+      [ F.thread ~name:"main" ~comp:"app" ~entry:"main" ~stack_size:2048 () ]
+    [
+      F.compartment "app" ~globals_size:32
+        ~entries:[ F.entry "main" ~arity:0 ~min_stack:512 ]
+        ~imports:
+          (A.client_imports @ Scheduler.client_imports
+          @ [ F.Static_sealed { target = "q" } ]);
+    ]
+
+let quota ctx =
+  let l = Loader.find_comp (Kernel.loader ctx.Kernel.kernel) "app" in
+  Machine.load_cap (Kernel.machine ctx.Kernel.kernel)
+    ~auth:l.Loader.lc_import_cap
+    ~addr:(Loader.import_slot_addr l (Loader.import_slot l "sealed:q"))
+
+type op = Alloc of int | Free of int | Sleep of int | Yield | Sweep
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 5 40)
+      (frequency
+         [
+           (4, map (fun s -> Alloc (8 + (s mod 500))) nat);
+           (3, map (fun i -> Free i) (int_bound 15));
+           (2, map (fun n -> Sleep (1_000 + (n mod 50_000))) nat);
+           (2, return Yield);
+           (1, return Sweep);
+         ]))
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Alloc n -> Printf.sprintf "A%d" n
+         | Free i -> Printf.sprintf "F%d" i
+         | Sleep n -> Printf.sprintf "S%d" n
+         | Yield -> "Y"
+         | Sweep -> "W")
+       ops)
+
+(* Run [ops] on a fresh system; returns the final simulated cycle count
+   and the trace (empty when no sink was attached). *)
+let run_program ~traced ops =
+  let machine = Machine.create () in
+  let obs = if traced then Some (Obs.create ()) else None in
+  Machine.set_trace machine obs;
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
+      let q = quota ctx in
+      let live = ref [] in
+      let nth i =
+        List.nth_opt !live (if !live = [] then 0 else i mod List.length !live)
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Alloc size -> (
+              match A.allocate ctx ~alloc_cap:q size with
+              | Ok c -> live := c :: !live
+              | Error _ -> ())
+          | Free i -> (
+              match nth i with
+              | Some c -> (
+                  match A.free ctx ~alloc_cap:q c with
+                  | Ok () -> live := List.filter (fun c' -> c' != c) !live
+                  | Error _ -> ())
+              | None -> ())
+          | Sleep n -> Kernel.sleep ctx n
+          | Yield -> Kernel.yield ctx
+          | Sweep ->
+              Machine.revoker_kick machine;
+              Machine.run_revoker_to_completion machine)
+        ops;
+      Capability.null);
+  System.run ~until_cycles:4_000_000_000 sys;
+  ( Machine.cycles machine,
+    match obs with None -> [] | Some o -> Obs.events o )
+
+let prop_stamps_monotone_per_source =
+  QCheck.Test.make ~name:"cycle stamps are monotone per source" ~count:15
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let _, evs = run_program ~traced:true ops in
+      let by_source = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let src = Obs.source_of e.Obs.kind in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt by_source src) in
+          if e.Obs.cycle < prev then failwith ("stamp regression in " ^ src);
+          Hashtbl.replace by_source src e.Obs.cycle)
+        evs;
+      evs <> [])
+
+let prop_attribution_totals_exact =
+  QCheck.Test.make
+    ~name:"attribution fold totals exactly equal machine cycles" ~count:15
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let cycles, evs = run_program ~traced:true ops in
+      let attributed = Obs.attribute ~total_cycles:cycles evs in
+      let sum = List.fold_left (fun a (_, n) -> a + n) 0 attributed in
+      sum = cycles && List.for_all (fun (_, n) -> n > 0) attributed)
+
+let prop_tracing_invisible =
+  QCheck.Test.make
+    ~name:"simulated cycles bit-identical with tracing on vs off" ~count:15
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let on, _ = run_program ~traced:true ops in
+      let off, _ = run_program ~traced:false ops in
+      on = off)
+
+let suite =
+  [
+    Qcheck_seed.to_alcotest prop_ring_keeps_newest;
+    Qcheck_seed.to_alcotest prop_stamps_monotone_per_source;
+    Qcheck_seed.to_alcotest prop_attribution_totals_exact;
+    Qcheck_seed.to_alcotest prop_tracing_invisible;
+  ]
+
+let () = Alcotest.run "cheriot_obs_props" [ ("trace-properties", suite) ]
