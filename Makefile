@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-seeds ci campaign bench perf clean
+.PHONY: all build test test-seeds report-smoke ci campaign bench perf clean
 
 all: build
 
@@ -16,7 +16,8 @@ test:
 # Re-run every QCheck property suite under several explicit seeds
 # (the suites read QCHECK_SEED; a failure prints the seed to replay).
 SEEDS ?= 1 7 42 1234 987654321
-PROP_TESTS = test_cap_props test_alloc_props test_mem_props test_obs_props
+PROP_TESTS = test_cap_props test_alloc_props test_mem_props test_obs_props \
+	test_forensics
 
 test-seeds: build
 	@for s in $(SEEDS); do \
@@ -26,7 +27,15 @@ test-seeds: build
 	  done; \
 	done; echo "test-seeds: all property suites passed under seeds: $(SEEDS)"
 
-ci: build test test-seeds perf
+# Flight-recorder smoke: the per-compartment health report of the fixed
+# workload must match the committed golden byte-for-byte, and a crash
+# replay of a campaign seed must produce dumps without erroring.
+report-smoke: build
+	dune exec bench/main.exe -- report producer_consumer | diff test/golden_report.expected -
+	dune exec bench/main.exe -- crashdump 7 >/dev/null
+	@echo "report-smoke: report matches golden, crashdump replays"
+
+ci: build test test-seeds report-smoke perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 campaign:

@@ -649,19 +649,51 @@ let pc_firmware () =
         ~imports:System.standard_imports;
     ]
 
+(* A machine with both observability layers attached: reuse the
+   CHERIOT_TRACE / CHERIOT_FORENSICS auto attachments when present so
+   the env knobs and the subcommands agree on a single event stream. *)
+let observed_machine () =
+  let machine = Machine.create () in
+  let obs =
+    match Machine.trace machine with
+    | Some o -> o
+    | None ->
+        let o = Obs.create () in
+        Machine.set_trace machine (Some o);
+        o
+  in
+  let frn =
+    match Machine.forensics machine with
+    | Some f -> f
+    | None ->
+        let f = Forensics.create () in
+        Machine.set_forensics machine (Some f);
+        f
+  in
+  (machine, obs, frn)
+
+(* Allocation churn through a quota'd compartment with enough free ->
+   revoker -> release round trips to populate the quarantine-residency
+   histogram (producer_consumer holds its one allocation for the whole
+   run, so its residency figures are legitimately zero). *)
+let churn_firmware () =
+  System.image ~name:"alloc-churn"
+    ~sealed_objects:[ Allocator.alloc_capability ~name:"churn_quota" ~quota:4096 ]
+    ~threads:
+      [
+        F.thread ~name:"churn" ~comp:"churn" ~entry:"run" ~priority:1
+          ~stack_size:2048 ();
+      ]
+    [
+      F.compartment "churn" ~globals_size:16
+        ~entries:[ F.entry "run" ~arity:0 ~min_stack:512 ]
+        ~imports:
+          (System.standard_imports @ [ F.Static_sealed { target = "churn_quota" } ]);
+    ]
+
 let run_workload = function
   | "producer_consumer" ->
-      let machine = Machine.create () in
-      let obs =
-        (* Reuse the CHERIOT_TRACE auto sink when one is attached so the
-           env knob and the subcommand agree on a single event stream. *)
-        match Machine.trace machine with
-        | Some o -> o
-        | None ->
-            let o = Obs.create () in
-            Machine.set_trace machine (Some o);
-            o
-      in
+      let machine, obs, frn = observed_machine () in
       let sys = Result.get_ok (System.boot ~machine (pc_firmware ())) in
       let k = sys.System.kernel in
       let readings = 6 in
@@ -697,7 +729,46 @@ let run_workload = function
           done;
           Cap.null);
       System.run sys;
-      (machine, obs)
+      (machine, obs, frn)
+  | "alloc_churn" ->
+      let machine, obs, frn = observed_machine () in
+      let sys = Result.get_ok (System.boot ~machine (churn_firmware ())) in
+      let k = sys.System.kernel in
+      Kernel.implement1 k ~comp:"churn" ~entry:"run" (fun ctx _ ->
+          let l = Loader.find_comp (Kernel.loader k) "churn" in
+          let quota =
+            Machine.load_cap machine ~auth:l.Loader.lc_import_cap
+              ~addr:
+                (Loader.import_slot_addr l
+                   (Loader.import_slot l "sealed:churn_quota"))
+          in
+          let held = ref [] in
+          for i = 1 to 12 do
+            (match Allocator.allocate ctx ~alloc_cap:quota (32 + (8 * (i mod 5))) with
+            | Ok c -> held := !held @ [ c ]
+            | Error _ -> ());
+            (if List.length !held > 2 then
+               match !held with
+               | oldest :: rest ->
+                   held := rest;
+                   ignore (Allocator.free ctx ~alloc_cap:quota oldest)
+               | [] -> ());
+            Kernel.sleep ctx 30_000
+          done;
+          List.iter (fun c -> ignore (Allocator.free ctx ~alloc_cap:quota c)) !held;
+          (* Let the revoker finish, then drive a few more allocator
+             operations so the drained quarantine is actually released
+             (releases happen inside alloc/free). *)
+          for _ = 1 to 3 do
+            Kernel.sleep ctx 50_000;
+            match Allocator.allocate ctx ~alloc_cap:quota 16 with
+            | Ok c -> ignore (Allocator.free ctx ~alloc_cap:quota c)
+            | Error _ -> ()
+          done;
+          Cap.null);
+      System.run sys;
+      Machine.run_revoker_to_completion machine;
+      (machine, obs, frn)
   | other -> failwith ("unknown trace workload " ^ other)
 
 let print_attribution machine obs =
@@ -724,7 +795,7 @@ let trace_cmd args =
     | [ w ] -> w
     | _ -> failwith "usage: trace <workload> [--out trace.json]"
   in
-  let machine, obs = run_workload workload in
+  let machine, obs, _ = run_workload workload in
   section (Printf.sprintf "trace %s" workload);
   List.iter (fun e -> Fmt.pr "%a@." Obs.pp_event e) (Obs.events obs);
   Fmt.pr "events total=%d retained=%d dropped=%d@." (Obs.total obs)
@@ -747,10 +818,68 @@ let metrics_cmd args =
     | [ w ] -> w
     | _ -> failwith "usage: metrics <workload>"
   in
-  let machine, obs = run_workload workload in
+  let machine, obs, _ = run_workload workload in
   print_endline
     (Json.to_string ~pretty:true
        (Obs.metrics ~total_cycles:(Machine.cycles machine) obs))
+
+(* The per-compartment health report (Forensics): dumps + histograms +
+   the PR 3 attribution fold, in text then JSON.  Deterministic for a
+   given workload — `report producer_consumer` is pinned by
+   test/golden_report.expected. *)
+let report_cmd args =
+  let workload =
+    match args with
+    | [] -> "producer_consumer"
+    | [ w ] -> w
+    | _ -> failwith "usage: report <workload>"
+  in
+  let machine, obs, frn = run_workload workload in
+  let total_cycles = Machine.cycles machine in
+  let events = Obs.events obs in
+  section (Printf.sprintf "report %s" workload);
+  print_string (Forensics.report_table frn ~total_cycles ~events);
+  print_endline
+    (Json.to_string ~pretty:true (Forensics.report_json frn ~total_cycles ~events))
+
+(* Crash forensics: run a faulting scenario with the flight recorder
+   attached and print every dump (text, then JSON).  `pod` replays the
+   §5.3.3 ping-of-death micro-reboot; an integer replays that
+   fault-campaign seed. *)
+let crashdump_cmd args =
+  let scenario =
+    match args with
+    | [] -> "pod"
+    | [ s ] -> s
+    | _ -> failwith "usage: crashdump <pod|campaign-seed>"
+  in
+  let dumps =
+    match int_of_string_opt scenario with
+    | Some seed ->
+        let o = Fault_campaign.run_scenario ~seed () in
+        section (Printf.sprintf "crashdump: campaign seed %d" seed);
+        Fmt.pr "faults=%d reboots=%d dumps=%d@." o.Fault_campaign.oc_faults
+          o.Fault_campaign.oc_reboots
+          (List.length o.Fault_campaign.oc_dumps);
+        o.Fault_campaign.oc_dumps
+    | None -> (
+        match scenario with
+        | "pod" | "ping_of_death" ->
+            let machine, _, frn = observed_machine () in
+            section "crashdump: ping-of-death (iot scenario, fast profile)";
+            ignore (Iot_scenario.run ~fast:true ~machine ());
+            Forensics.dumps frn
+        | other ->
+            failwith
+              (Printf.sprintf
+                 "unknown crashdump scenario %s (expected pod or an integer \
+                  campaign seed)"
+                 other))
+  in
+  List.iter (fun d -> Fmt.pr "%a@." Forensics.pp_dump d) dumps;
+  print_endline
+    (Json.to_string ~pretty:true
+       (Json.List (List.map Forensics.dump_json dumps)))
 
 (* ------------------------------------------------------------------ *)
 (* Host-performance baseline: BENCH_core.json (see EXPERIMENTS.md).   *)
@@ -885,38 +1014,82 @@ let wallclock () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The experiment table drives both dispatch and the usage listing, so
+   the two can never drift apart. *)
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table2", "code and data size of RTOS components", table2);
+    ("table3", "core API latencies (simulated cycles)", table3);
+    ("fig6a", "call and interrupt latencies", fig6a);
+    ("fig6b", "allocation latency vs heap pressure", fun () -> fig6b ());
+    ("fig7", "full-system IoT case study (paper-scale trace)", fig7 ~fast:false);
+    ("fig7-full", "alias for fig7", fig7 ~fast:false);
+    ("fig7-fast", "IoT case study, ~50x shrunk latencies", fig7 ~fast:true);
+    ("table4", "design-aspect probes vs the MPU baseline", table4);
+    ("tcb", "TCB size and attack surface (paper 5.1.1)", tcb);
+    ("ablate-quarantine", "quarantine drain-factor sweep", ablate_quarantine);
+    ("ablate-loadfilter", "load filter off (temporal safety collapses)",
+     ablate_loadfilter);
+    ("ablate-revoker", "revoker sweep-rate sweep", ablate_revoker);
+    ( "ablations",
+      "all three ablations",
+      fun () ->
+        ablate_quarantine ();
+        ablate_loadfilter ();
+        ablate_revoker () );
+    ("campaign", "seeded fault-injection campaign", campaign);
+    ("perf-json", "machine-readable perf summary", perf_json);
+    ("wallclock", "Bechamel host wall-clock suite", wallclock);
+  ]
+
+let subcommands : (string * string * (string list -> unit)) list =
+  [
+    ("trace", "trace <workload>: dump the event ring (text + Chrome JSON)",
+     trace_cmd);
+    ("metrics", "metrics <workload>: cycle-attribution metrics as JSON",
+     metrics_cmd);
+    ( "report",
+      "report <workload>: per-compartment health report (text + JSON)",
+      report_cmd );
+    ( "crashdump",
+      "crashdump <pod|seed>: flight-recorder dumps from a faulting run",
+      crashdump_cmd );
+  ]
+
+let usage () =
+  Fmt.epr "usage: bench [subcommand args | experiment ...]@.@.subcommands:@.";
+  List.iter (fun (_, doc, _) -> Fmt.epr "  %s@." doc) subcommands;
+  Fmt.epr "@.experiments (default: table2 table3 fig6a fig6b fig7-full table4 tcb):@.";
+  List.iter (fun (name, doc, _) -> Fmt.epr "  %-18s %s@." name doc) experiments
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
-  | "trace" :: rest -> trace_cmd rest
-  | "metrics" :: rest -> metrics_cmd rest
+  | cmd :: rest
+    when List.exists (fun (name, _, _) -> name = cmd) subcommands ->
+      let _, _, f = List.find (fun (name, _, _) -> name = cmd) subcommands in
+      f rest
   | _ ->
-  (* Default run: everything, with the fast Fig. 7 profile so the whole
-     suite stays quick; `fig7` runs the paper-scale 52 s trace. *)
-  let targets =
-    if args = [] then [ "table2"; "table3"; "fig6a"; "fig6b"; "fig7-full"; "table4"; "tcb" ]
-    else args
-  in
-  List.iter
-    (fun t ->
-      match t with
-      | "table2" -> table2 ()
-      | "table3" -> table3 ()
-      | "fig6a" -> fig6a ()
-      | "fig6b" -> fig6b ()
-      | "fig7" | "fig7-full" -> fig7 ~fast:false ()
-      | "fig7-fast" -> fig7 ~fast:true ()
-      | "table4" -> table4 ()
-      | "tcb" -> tcb ()
-      | "ablate-quarantine" -> ablate_quarantine ()
-      | "ablate-loadfilter" -> ablate_loadfilter ()
-      | "ablate-revoker" -> ablate_revoker ()
-      | "ablations" ->
-          ablate_quarantine ();
-          ablate_loadfilter ();
-          ablate_revoker ()
-      | "campaign" -> campaign ()
-      | "perf-json" -> perf_json ()
-      | "wallclock" -> wallclock ()
-      | other -> Fmt.pr "unknown experiment %s@." other)
-    targets
+      (* Default run: everything, with the fast Fig. 7 profile so the
+         whole suite stays quick; `fig7` runs the paper-scale 52 s
+         trace. *)
+      let targets =
+        if args = [] then
+          [ "table2"; "table3"; "fig6a"; "fig6b"; "fig7-full"; "table4"; "tcb" ]
+        else args
+      in
+      let lookup t = List.find_opt (fun (name, _, _) -> name = t) experiments in
+      (* Validate every target before running any, so a typo late in the
+         list doesn't waste a long run. *)
+      (match List.filter (fun t -> lookup t = None) targets with
+      | [] -> ()
+      | unknown ->
+          List.iter (fun t -> Fmt.epr "unknown experiment %s@." t) unknown;
+          usage ();
+          exit 1);
+      List.iter
+        (fun t ->
+          match lookup t with
+          | Some (_, _, f) -> f ()
+          | None -> assert false)
+        targets

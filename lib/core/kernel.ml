@@ -347,6 +347,51 @@ let forced_unwind t th =
 let fault_info_of ~comp ~thread cause addr =
   { fault_cause = cause; fault_addr = addr; fault_comp = comp; fault_thread = thread }
 
+(* Crash-dump capture (flight recorder, see Forensics).  Pure
+   observation: render the interpreter's register file to strings and
+   hand them over — no ticks, no simulated-memory access, and nothing is
+   even allocated unless tracing is on and a recorder is attached. *)
+
+let reg_names =
+  [| "zero"; "ra"; "csp"; "cgp"; "ct0"; "ct1"; "ct2"; "ca0"; "ca1"; "ca2";
+     "ca3"; "ca4"; "ca5"; "cs0"; "cs1"; "ct3" |]
+
+let render_regs t =
+  let regs = Interp.regs t.interp in
+  List.init 16 (fun i -> (reg_names.(i), Cap.to_string regs.(i)))
+
+let capture_dump t ~tid ~comp ~cause ~addr ~pc ~instr ~handler_ran =
+  if Machine.tracing t.machine then
+    match Machine.forensics t.machine with
+    | None -> ()
+    | Some f ->
+        Forensics.record_fault f
+          ~cycle:(Machine.cycles t.machine)
+          ~comp ~thread:tid ~cause ~addr ~pc ~instr ~regs:(render_regs t)
+          ~handler_ran
+
+let trap_cause_string = function
+  | Interp.Cap_fault v -> Cap.violation_to_string v
+  | Interp.Software s -> s
+
+let switcher_instr_at pc =
+  let idx = (pc - Abi.switcher_code_base) / 4 in
+  if pc >= Abi.switcher_code_base && idx < Isa.length Switcher.program then
+    Fmt.str "%a" Isa.pp_instr (Isa.instr_at Switcher.program idx)
+  else "-"
+
+let record_scoped_fault ctx ~cause ~addr =
+  let t = ctx.kernel in
+  if Machine.tracing t.machine then
+    match Machine.forensics t.machine with
+    | None -> ()
+    | Some f ->
+        Forensics.record_fault f
+          ~cycle:(Machine.cycles t.machine)
+          ~comp:(comp_name t ctx.comp_id) ~thread:ctx.thread_id ~cause ~addr
+          ~pc:(-1) ~instr:"scoped handler" ~regs:(render_regs t)
+          ~handler_ran:true
+
 (* The compartment-call dance: native -> interpreted switcher -> native
    callee -> interpreted switcher return -> native. *)
 
@@ -369,6 +414,10 @@ let rec do_call t ~tid ~caller ~csp ~cgp ~sealed args =
   | Interp.Trapped tr ->
       if Machine.tracing t.machine then
         Machine.emit t.machine (Obs.Switcher_abort { tid });
+      capture_dump t ~tid ~comp:"switcher"
+        ~cause:(trap_cause_string tr.Interp.tcause)
+        ~addr:(-1) ~pc:tr.Interp.tpc
+        ~instr:(switcher_instr_at tr.Interp.tpc) ~handler_ran:false;
       (match tr.Interp.tcause with
       | Interp.Software s ->
           if s = "insufficient stack for callee" then Error Insufficient_stack
@@ -383,6 +432,9 @@ and dispatch t ~tid ~caller target =
   | None ->
       if Machine.tracing t.machine then
         Machine.emit t.machine (Obs.Switcher_abort { tid });
+      capture_dump t ~tid ~comp:"switcher"
+        ~cause:"call target outside any compartment" ~addr ~pc:addr ~instr:"-"
+        ~handler_ran:false;
       Error Invalid_import
   | Some (comp, entry_idx) ->
       let th = t.threads.(tid) in
@@ -405,7 +457,13 @@ and dispatch t ~tid ~caller target =
         Machine.emit t.machine
           (Obs.Call_enter
              { caller; callee; entry = entry.Firmware.entry_name; tid });
+      let entry_addr = comp.layout.Loader.lc_code_base + (4 * entry_idx) in
+      let entry_label =
+        Printf.sprintf "native %s.%s" callee entry.Firmware.entry_name
+      in
       if comp.poisoned then begin
+        capture_dump t ~tid ~comp:callee ~cause:"compartment poisoned"
+          ~addr:(-1) ~pc:entry_addr ~instr:entry_label ~handler_ran:false;
         forced_unwind t th;
         if Machine.tracing t.machine then
           Machine.emit t.machine (Obs.Call_leave { callee; tid; faulted = true });
@@ -420,7 +478,8 @@ and dispatch t ~tid ~caller target =
               ~entry:entry.Firmware.entry_name
         | None -> false
       then
-        handle_callee_fault t ~tid comp callee_ctx "injected crash" (-1)
+        handle_callee_fault t ~tid ~entry_addr ~entry_label comp callee_ctx
+          "injected crash" (-1)
       else begin
         let impl =
           match List.assoc_opt entry.Firmware.entry_name comp.impls with
@@ -435,11 +494,11 @@ and dispatch t ~tid ~caller target =
         match impl callee_ctx args with
         | r0, r1 -> finish_call t ~tid ~callee ~callee_csp ~ra_callee (r0, r1)
         | exception Memory.Fault f ->
-            handle_callee_fault t ~tid comp callee_ctx
+            handle_callee_fault t ~tid ~entry_addr ~entry_label comp callee_ctx
               (Cap.violation_to_string f.Memory.cause)
               f.Memory.addr
         | exception Cap.Derivation v ->
-            handle_callee_fault t ~tid comp callee_ctx
+            handle_callee_fault t ~tid ~entry_addr ~entry_label comp callee_ctx
               (Cap.violation_to_string v) (-1)
       end
 
@@ -464,7 +523,9 @@ and finish_call t ~tid ~callee ~callee_csp ~ra_callee (r0, r1) =
       failwith (Fmt.str "switcher return path trapped: %a" Interp.pp_trap tr)
   | Interp.Halted -> assert false
 
-and handle_callee_fault t ~tid comp ctx cause addr =
+and handle_callee_fault t ~tid ~entry_addr ~entry_label comp ctx cause addr =
+  capture_dump t ~tid ~comp:comp.layout.Loader.lc_name ~cause ~addr
+    ~pc:entry_addr ~instr:entry_label ~handler_ran:(comp.on_error <> None);
   Machine.tick t.machine Cost.trap_entry;
   let th = t.threads.(tid) in
   let fi =

@@ -178,6 +178,13 @@ val set_call_fault_hook : t -> (comp:string -> entry:string -> bool) option -> u
     [Fault_in_callee].  The deterministic crash-injection point of the
     fault campaign. *)
 
+val record_scoped_fault : ctx -> cause:string -> addr:int -> unit
+(** Flight-recorder hook for the hardening layer ({!Scoped}): snapshot a
+    crash dump for a fault caught by a scoped handler (the fault never
+    reaches the switcher unwind, so the kernel's own capture sites miss
+    it).  No-op unless tracing is on and a {!Forensics} recorder is
+    attached — purely observational. *)
+
 val thread_state : t -> int -> [ `Ready | `Running | `Blocked | `Finished ]
 
 val check_sanity : t -> (unit, string) result

@@ -21,8 +21,22 @@ type limiter = {
 
 let limiters : (string, limiter) Hashtbl.t = Hashtbl.create 8
 
-let observer : (comp:string -> cycle:int -> unit) option ref = ref None
-let set_observer o = observer := o
+(* Reboot subscribers: an additive list (registration order preserved)
+   so several observers — the fault-campaign trace logger, the flight
+   recorder, tests — coexist instead of silently replacing each other. *)
+
+type sub = int
+
+let subscribers : (sub * (comp:string -> cycle:int -> unit)) list ref = ref []
+let next_sub = ref 0
+
+let subscribe f =
+  let id = !next_sub in
+  incr next_sub;
+  subscribers := !subscribers @ [ (id, f) ];
+  id
+
+let unsubscribe id = subscribers := List.remove_assoc id !subscribers
 
 let set_rate_limit _k ~comp ~max_reboots ~window =
   Hashtbl.replace limiters comp
@@ -70,9 +84,14 @@ let perform ctx ~comp steps =
   (* Modelled reset latency, then step 5: reopen. *)
   Machine.tick (Kernel.machine k) !reboot_cycles;
   Kernel.note_reboot k ~comp;
-  (match !observer with
-  | Some f -> f ~comp ~cycle:(Machine.cycles (Kernel.machine k))
+  let cycle = Machine.cycles (Kernel.machine k) in
+  (* The flight recorder is wired in directly (it rides the machine, not
+     the module-level subscriber list, so per-machine recorders never
+     cross-talk between concurrently live kernels). *)
+  (match Machine.forensics (Kernel.machine k) with
+  | Some f -> Forensics.note_reboot f ~comp ~cycle
   | None -> ());
+  List.iter (fun (_, f) -> f ~comp ~cycle) !subscribers;
   (* Step 5: reopen — unless the rate limiter says this compartment is
      being reboot-bombed. *)
   if note_and_check ctx comp then Kernel.poison k ~comp false

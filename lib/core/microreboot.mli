@@ -37,9 +37,17 @@ val perform : Kernel.ctx -> comp:string -> steps -> unit
 val count : Kernel.t -> comp:string -> int
 (** Completed micro-reboots of the compartment since boot. *)
 
-val set_observer : (comp:string -> cycle:int -> unit) option -> unit
-(** Module-level hook called after each completed reboot (fault-campaign
-    trace logging).  [None] uninstalls. *)
+(** Module-level reboot subscribers, called after each completed reboot
+    (fault-campaign trace logging, tests).  Additive: registering never
+    replaces an earlier subscriber; all fire in registration order.  The
+    flight recorder ({!Forensics}) does not need a subscription — it is
+    notified directly through the rebooting kernel's machine. *)
+
+type sub
+
+val subscribe : (comp:string -> cycle:int -> unit) -> sub
+val unsubscribe : sub -> unit
+(** Remove a subscriber; unknown/stale handles are ignored. *)
 
 (* Repeat-attack mitigation (§5.1.2): error handlers maintain
    availability, but an attacker who can trigger traps repeatedly could

@@ -4,7 +4,15 @@ let during ctx body ~handler =
   charge ctx Cost.setjmp;
   match body () with
   | v -> v
-  | exception (Memory.Fault _ | Capability.Derivation _) ->
+  | exception Memory.Fault f ->
+      Kernel.record_scoped_fault ctx
+        ~cause:(Capability.violation_to_string f.Memory.cause)
+        ~addr:f.Memory.addr;
+      charge ctx (Cost.trap_entry + Cost.longjmp);
+      handler ()
+  | exception Capability.Derivation v ->
+      Kernel.record_scoped_fault ctx
+        ~cause:(Capability.violation_to_string v) ~addr:(-1);
       charge ctx (Cost.trap_entry + Cost.longjmp);
       handler ()
 

@@ -26,6 +26,7 @@ type outcome = {
   oc_probe_ok : bool;
   oc_violations : string list;
   oc_trace : string list;
+  oc_dumps : Forensics.dump list;
 }
 
 let iters ~default =
@@ -191,7 +192,16 @@ let check_stored_caps machine alloc =
 
 let run_scenario ?(steps = 60) ?trace ~seed () =
   let machine = Machine.create () in
-  (match trace with None -> () | Some o -> Machine.set_trace machine (Some o));
+  (* Every scenario carries a flight recorder, and the recorder rides
+     the trace stream, so make sure a sink exists even for callers that
+     did not ask for one (both are observationally invisible). *)
+  (match trace with
+  | Some o -> Machine.set_trace machine (Some o)
+  | None ->
+      if Machine.trace machine = None then
+        Machine.set_trace machine (Some (Obs.create ())));
+  let frn = Forensics.create () in
+  Machine.set_forensics machine (Some frn);
   let engine = Fault_inject.create ~seed machine in
   let net = Netsim.attach ~latency:4_000 machine in
   let violations = ref [] in
@@ -208,6 +218,7 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
         oc_probe_ok = false;
         oc_violations = [ "boot failed: " ^ e ];
         oc_trace = [];
+        oc_dumps = [];
       }
   | Ok sys ->
       let k = sys.System.kernel in
@@ -337,7 +348,37 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
       record "capability provenance" (check_stored_caps machine alloc);
       if not !probe_ok then
         viol "service not restored after campaign (svc probe failed)";
-      Microreboot.set_observer None;
+      (* Flight-recorder invariants: every injected crash produced a
+         crash dump, and every dump blames the injected fault's target
+         (the only compartment the engine is allowed to crash). *)
+      let trace_lines = Fault_inject.trace engine in
+      let dumps = Forensics.dumps frn in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      let delivered =
+        List.length (List.filter (fun l -> contains l "crash delivered") trace_lines)
+      in
+      let crash_dumps =
+        List.length
+          (List.filter (fun d -> d.Forensics.d_cause = "injected crash") dumps)
+      in
+      if crash_dumps <> delivered then
+        viol "crash dumps (%d) do not match delivered crashes (%d)" crash_dumps
+          delivered;
+      List.iter
+        (fun d ->
+          if d.Forensics.d_comp <> "svc" then
+            viol "crash dump at cycle %d blames %s, not the injected target svc"
+              d.Forensics.d_cycle d.Forensics.d_comp;
+          if List.length d.Forensics.d_regs <> 16 then
+            viol "crash dump at cycle %d has %d registers, expected 16"
+              d.Forensics.d_cycle
+              (List.length d.Forensics.d_regs))
+        dumps;
+      Fault_inject.detach engine;
       {
         oc_seed = seed;
         oc_cycles = Machine.cycles machine;
@@ -347,7 +388,8 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
         oc_svc_err = !svc_err;
         oc_probe_ok = !probe_ok;
         oc_violations = !violations;
-        oc_trace = Fault_inject.trace engine;
+        oc_trace = trace_lines;
+        oc_dumps = dumps;
       }
 
 let run ?(verbose = false) ?steps ~base_seed ~n () =

@@ -28,6 +28,10 @@ type outcome = {
   oc_probe_ok : bool;  (** the service answered after disarming *)
   oc_violations : string list;  (** empty = all invariants held *)
   oc_trace : string list;  (** the engine's fault history *)
+  oc_dumps : Forensics.dump list;
+      (** flight-recorder crash dumps, oldest first — one per injected
+          crash (enforced as a campaign invariant, along with every dump
+          blaming the injected target) *)
 }
 
 val iters : default:int -> int
@@ -37,8 +41,11 @@ val iters : default:int -> int
 val run_scenario : ?steps:int -> ?trace:Obs.t -> seed:int -> unit -> outcome
 (** One scenario.  [steps] is the driver's iteration count (default
     60); everything else derives from [seed].  [trace] attaches an
-    event sink to the scenario's machine before boot (tracing is
-    observationally invisible, so the outcome is unchanged). *)
+    event sink to the scenario's machine before boot; without it a
+    private default sink is attached anyway, because every scenario
+    carries a {!Forensics} flight recorder fed from the trace stream
+    (both are observationally invisible, so the outcome is
+    unchanged). *)
 
 val run :
   ?verbose:bool ->

@@ -77,6 +77,7 @@ type t = {
   mutable trace_rev : string list;
   mutable injected : int;
   mutable listener : Machine.listener_handle option;
+  mutable reboot_sub : Microreboot.sub option;
 }
 
 (* The engine's tick listener is parked except when it has something to
@@ -204,6 +205,7 @@ let create ?(period = 4_000) ?(weights = default_weights) ?(storm_len = 12)
       trace_rev = [];
       injected = 0;
       listener = None;
+      reboot_sub = None;
     }
   in
   t.listener <-
@@ -242,6 +244,11 @@ let disarm t =
 
 let detach t =
   disarm t;
+  (match t.reboot_sub with
+  | None -> ()
+  | Some s ->
+      Microreboot.unsubscribe s;
+      t.reboot_sub <- None);
   match t.listener with
   | None -> ()
   | Some h ->
@@ -296,11 +303,15 @@ let wire_kernel t kernel ~victims =
          else false))
 
 let observe_reboots t =
-  Microreboot.set_observer
-    (Some
-       (fun ~comp ~cycle ->
-         let s = "micro-reboot completed: " ^ comp in
-         if Machine.tracing t.machine then
-           Machine.emit t.machine (Obs.Fault_note { note = s });
-         t.trace_rev <-
-           Printf.sprintf "[%d] %s" cycle s :: t.trace_rev))
+  (match t.reboot_sub with
+  | Some s ->
+      Microreboot.unsubscribe s;
+      t.reboot_sub <- None
+  | None -> ());
+  t.reboot_sub <-
+    Some
+      (Microreboot.subscribe (fun ~comp ~cycle ->
+           let s = "micro-reboot completed: " ^ comp in
+           if Machine.tracing t.machine then
+             Machine.emit t.machine (Obs.Fault_note { note = s });
+           t.trace_rev <- Printf.sprintf "[%d] %s" cycle s :: t.trace_rev))

@@ -75,6 +75,7 @@ type t = {
   mutable horizon : int;  (* next cycle at which anything can happen; 0 = stale *)
   mutable attention : bool;  (* sticky slow-path request (kernel preemption) *)
   mutable obs : Obs.t option;  (* trace sink; never affects simulation *)
+  mutable frn : Forensics.t option;  (* flight recorder; rides the trace *)
   rev_futex : int ref;
 }
 
@@ -95,9 +96,17 @@ let dirty m = m.horizon <- 0
 let set_trace m o = m.obs <- o
 let trace m = m.obs
 let tracing m = m.obs <> None
+let set_forensics m f = m.frn <- f
+let forensics m = m.frn
 
 let emit m kind =
-  match m.obs with None -> () | Some o -> Obs.emit o ~cycle:m.cycles kind
+  match m.obs with
+  | None -> ()
+  | Some o -> (
+      Obs.emit o ~cycle:m.cycles kind;
+      match m.frn with
+      | None -> ()
+      | Some f -> Forensics.ingest f ~cycle:m.cycles kind)
 
 let no_listener =
   { lk_fn = ignore; lk_period = 0; lk_next = max_int; lk_alive = false }
@@ -280,9 +289,13 @@ let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
       horizon = 0;
       attention = false;
       obs = Obs.auto ();
+      frn = None;
       rev_futex = ref 0;
     }
   in
+  (* The flight recorder rides the trace stream: only attach one when a
+     trace sink exists (Forensics.ingest is fed from [emit]). *)
+  if m.obs <> None then m.frn <- Forensics.auto ();
   (* A tag appearing in memory is the one event the lazy revoker cannot
      anticipate.  Settle the in-flight sweep against the pre-store tag
      state first, so deferred sweep cycles that already elapsed can never

@@ -130,6 +130,14 @@ val trace : t -> Obs.t option
 
 val tracing : t -> bool
 
+val set_forensics : t -> Forensics.t option -> unit
+val forensics : t -> Forensics.t option
+(** The attached flight recorder ({!Forensics}).  It rides the trace
+    stream — {!emit} forwards every event to it — so it only sees events
+    while a trace sink is also attached.  [create] attaches one when the
+    [CHERIOT_FORENSICS] environment variable asks for it and a trace
+    sink is present.  Same invisibility contract as tracing. *)
+
 val emit : t -> Obs.kind -> unit
 (** Append an event stamped with the current cycle; no-op without a
     sink.  Hot paths should test {!tracing} first so the event payload

@@ -1,0 +1,573 @@
+(* See forensics.mli.  Same contract as obs.ml: nothing in here may
+   touch the simulation — no clock, no simulated memory, no control flow
+   back into the machine.  Ingestion is a handful of hashtable updates
+   and integer bumps; every report is a post-run fold. *)
+
+(* Streaming log2 histograms.  Bucket 0 holds v <= 0; bucket i >= 1
+   holds 2^(i-1) <= v < 2^i, so its upper bound is 2^i - 1.  63 buckets
+   cover every positive OCaml int. *)
+
+let nbuckets = 63
+
+type hist = {
+  mutable h_n : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+let hist_create () =
+  { h_n = 0; h_sum = 0; h_min = max_int; h_max = min_int;
+    h_buckets = Array.make nbuckets 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (nbuckets - 1)
+  end
+
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let hist_add h v =
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_count h = h.h_n
+let hist_sum h = h.h_sum
+let hist_min h = if h.h_n = 0 then 0 else h.h_min
+let hist_max h = if h.h_n = 0 then 0 else h.h_max
+
+let hist_quantile h q =
+  if h.h_n = 0 then 0
+  else begin
+    let rank = max 1 (min h.h_n (int_of_float (ceil (q *. float_of_int h.h_n)))) in
+    let cum = ref 0 and est = ref h.h_max in
+    (try
+       for i = 0 to nbuckets - 1 do
+         cum := !cum + h.h_buckets.(i);
+         if !cum >= rank then begin
+           est := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    max (hist_min h) (min h.h_max !est)
+  end
+
+let hist_json h =
+  let buckets =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then
+        acc :=
+          Json.Obj
+            [ ("le", Json.Int (bucket_upper i));
+              ("count", Json.Int h.h_buckets.(i)) ]
+          :: !acc
+    done;
+    !acc
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_n);
+      ("sum", Json.Int h.h_sum);
+      ("min", Json.Int (hist_min h));
+      ("max", Json.Int (hist_max h));
+      ("p50", Json.Int (hist_quantile h 0.50));
+      ("p99", Json.Int (hist_quantile h 0.99));
+      ("buckets", Json.List buckets);
+    ]
+
+(* Crash dumps *)
+
+type dump = {
+  d_cycle : int;
+  d_comp : string;
+  d_thread : int;
+  d_cause : string;
+  d_addr : int;
+  d_pc : int;
+  d_instr : string;
+  d_regs : (string * string) list;
+  d_chain : (string * string * string * int) list;
+  d_recent : string list;
+  d_live_bytes : int;
+  d_live_hwm : int;
+  d_quarantine_bytes : int;
+  d_quarantine_chunks : int;
+  d_handler_ran : bool;
+  mutable d_rebooted : bool;
+}
+
+(* Per-compartment health counters.  Faults are counted at
+   [Call_leave faulted=true] (the unwind), never in [record_fault], so a
+   fault that produces both a dump and an unwind is counted once. *)
+type cstat = {
+  mutable cs_calls : int;
+  mutable cs_faults : int;
+  mutable cs_reboots : int;
+  cs_lat : hist;
+  mutable cs_live : int;
+  mutable cs_hwm : int;
+  cs_quar : hist;
+}
+
+type frame = {
+  fr_caller : string;
+  fr_callee : string;
+  fr_entry : string;
+  fr_cycle : int;
+}
+
+let recent_cap = 512
+
+type t = {
+  max_dumps : int;
+  mutable dumps_rev : dump list;  (* newest first *)
+  mutable ndumps : int;
+  (* ingest state *)
+  mutable cur_tid : int;
+  thread_names : (int, string) Hashtbl.t;
+  stacks : (int, frame list) Hashtbl.t;
+  mutable pending_irq : (int * int) option;  (* irq, entry cycle *)
+  sizes : (int, int * string) Hashtbl.t;  (* live base -> size, owner *)
+  freed_owner : (int, string) Hashtbl.t;  (* base freed, awaiting quarantine *)
+  quar : (int, int * string) Hashtbl.t;  (* base -> cycle quarantined, owner *)
+  mutable quar_bytes : int;
+  mutable quar_chunks : int;
+  stats : (string, cstat) Hashtbl.t;
+  (* the four global histograms *)
+  call_lat : hist;
+  irq_lat : hist;
+  alloc_sz : hist;
+  quar_res : hist;
+  (* bounded ring of recent events with their compartment context *)
+  recent : (string * Obs.event) array;
+  mutable recent_head : int;
+}
+
+let create ?(max_dumps = 256) () =
+  if max_dumps <= 0 then
+    invalid_arg "Forensics.create: max_dumps must be positive";
+  {
+    max_dumps;
+    dumps_rev = [];
+    ndumps = 0;
+    cur_tid = -1;
+    thread_names = Hashtbl.create 8;
+    stacks = Hashtbl.create 8;
+    pending_irq = None;
+    sizes = Hashtbl.create 64;
+    freed_owner = Hashtbl.create 64;
+    quar = Hashtbl.create 64;
+    quar_bytes = 0;
+    quar_chunks = 0;
+    stats = Hashtbl.create 16;
+    call_lat = hist_create ();
+    irq_lat = hist_create ();
+    alloc_sz = hist_create ();
+    quar_res = hist_create ();
+    recent = Array.make recent_cap ("", Obs.{ cycle = 0; kind = Sched_idle });
+    recent_head = 0;
+  }
+
+let auto () =
+  match Sys.getenv_opt "CHERIOT_FORENSICS" with
+  | None | Some "" | Some "0" -> None
+  | Some _ -> Some (create ())
+
+let call_latency t = t.call_lat
+let irq_latency t = t.irq_lat
+let alloc_size t = t.alloc_sz
+let quarantine_residency t = t.quar_res
+
+let stat t comp =
+  match Hashtbl.find_opt t.stats comp with
+  | Some s -> s
+  | None ->
+      let s =
+        { cs_calls = 0; cs_faults = 0; cs_reboots = 0;
+          cs_lat = hist_create (); cs_live = 0; cs_hwm = 0;
+          cs_quar = hist_create () }
+      in
+      Hashtbl.add t.stats comp s;
+      s
+
+let stack t tid = Option.value (Hashtbl.find_opt t.stacks tid) ~default:[]
+
+(* The compartment context of the current thread: innermost call frame,
+   else the thread's name, else the kernel. *)
+let context_comp t =
+  if t.cur_tid < 0 then "kernel"
+  else
+    match stack t t.cur_tid with
+    | f :: _ -> f.fr_callee
+    | [] -> (
+        match Hashtbl.find_opt t.thread_names t.cur_tid with
+        | Some n -> n
+        | None -> "kernel")
+
+(* Who owns an allocation made on thread [tid]: the innermost call frame
+   that is not the allocator itself, else the outermost caller, else the
+   thread name. *)
+let owner_of t tid =
+  let rec first_app = function
+    | [] -> None
+    | f :: rest ->
+        if f.fr_callee = "allocator" then first_app rest
+        else Some f.fr_callee
+  in
+  let st = stack t tid in
+  match first_app st with
+  | Some c -> c
+  | None -> (
+      match List.rev st with
+      | f :: _ -> f.fr_caller
+      | [] -> (
+          match Hashtbl.find_opt t.thread_names tid with
+          | Some n -> n
+          | None -> "kernel"))
+
+let ingest t ~cycle kind =
+  let ev = Obs.{ cycle; kind } in
+  Array.unsafe_set t.recent (t.recent_head mod recent_cap) (context_comp t, ev);
+  t.recent_head <- t.recent_head + 1;
+  match kind with
+  | Obs.Thread_dispatch { tid; name } ->
+      t.cur_tid <- tid;
+      if not (Hashtbl.mem t.thread_names tid) then
+        Hashtbl.add t.thread_names tid name;
+      (match t.pending_irq with
+      | Some (_, entered) ->
+          hist_add t.irq_lat (cycle - entered);
+          t.pending_irq <- None
+      | None -> ())
+  | Obs.Sched_idle -> t.cur_tid <- -1
+  | Obs.Irq_enter { irq } ->
+      if t.pending_irq = None then t.pending_irq <- Some (irq, cycle)
+  | Obs.Call_enter { caller; callee; entry; tid } ->
+      let s = stat t callee in
+      s.cs_calls <- s.cs_calls + 1;
+      Hashtbl.replace t.stacks tid
+        ({ fr_caller = caller; fr_callee = callee; fr_entry = entry;
+           fr_cycle = cycle }
+        :: stack t tid)
+  | Obs.Call_leave { callee; tid; faulted } -> (
+      let s = stat t callee in
+      if faulted then s.cs_faults <- s.cs_faults + 1;
+      match stack t tid with
+      | f :: rest ->
+          Hashtbl.replace t.stacks tid rest;
+          let d = cycle - f.fr_cycle in
+          hist_add t.call_lat d;
+          hist_add s.cs_lat d
+      | [] -> ())
+  | Obs.Alloc { base; size } ->
+      let owner = owner_of t t.cur_tid in
+      Hashtbl.replace t.sizes base (size, owner);
+      hist_add t.alloc_sz size;
+      let s = stat t owner in
+      s.cs_live <- s.cs_live + size;
+      if s.cs_live > s.cs_hwm then s.cs_hwm <- s.cs_live
+  | Obs.Free { base; size } -> (
+      match Hashtbl.find_opt t.sizes base with
+      | Some (_, owner) ->
+          Hashtbl.remove t.sizes base;
+          Hashtbl.replace t.freed_owner base owner;
+          let s = stat t owner in
+          s.cs_live <- s.cs_live - size
+      | None -> ())
+  | Obs.Quarantine { base; size } ->
+      let owner =
+        match Hashtbl.find_opt t.freed_owner base with
+        | Some o ->
+            Hashtbl.remove t.freed_owner base;
+            Some o
+        | None -> (
+            match Hashtbl.find_opt t.sizes base with
+            | Some (_, o) -> Some o
+            | None -> None)
+      in
+      Hashtbl.replace t.quar base
+        (cycle, Option.value owner ~default:"kernel");
+      t.quar_bytes <- t.quar_bytes + size;
+      t.quar_chunks <- t.quar_chunks + 1
+  | Obs.Release { base; size } -> (
+      match Hashtbl.find_opt t.quar base with
+      | Some (entered, owner) ->
+          Hashtbl.remove t.quar base;
+          t.quar_bytes <- t.quar_bytes - size;
+          t.quar_chunks <- t.quar_chunks - 1;
+          let d = cycle - entered in
+          hist_add t.quar_res d;
+          hist_add (stat t owner).cs_quar d
+      | None -> ())
+  | _ -> ()
+
+(* How many recent-ring lines a dump carries. *)
+let recent_keep = 16
+
+let mentions comp = function
+  | Obs.Call_enter { caller; callee; _ } -> caller = comp || callee = comp
+  | Obs.Call_leave { callee; _ } -> callee = comp
+  | _ -> false
+
+let recent_for t comp =
+  let n = min t.recent_head recent_cap in
+  let acc = ref [] and kept = ref 0 in
+  (* newest first, stop once we have [recent_keep] *)
+  (try
+     for i = 1 to n do
+       let ctx, ev = t.recent.((t.recent_head - i) mod recent_cap) in
+       if ctx = comp || mentions comp ev.Obs.kind then begin
+         acc := Format.asprintf "%a" Obs.pp_event ev :: !acc;
+         incr kept;
+         if !kept >= recent_keep then raise Exit
+       end
+     done
+   with Exit -> ());
+  !acc
+
+let record_fault t ~cycle ~comp ~thread ~cause ~addr ~pc ~instr ~regs
+    ~handler_ran =
+  let s = stat t comp in
+  let chain =
+    List.map
+      (fun f -> (f.fr_caller, f.fr_callee, f.fr_entry, f.fr_cycle))
+      (stack t thread)
+  in
+  let d =
+    {
+      d_cycle = cycle;
+      d_comp = comp;
+      d_thread = thread;
+      d_cause = cause;
+      d_addr = addr;
+      d_pc = pc;
+      d_instr = instr;
+      d_regs = regs;
+      d_chain = chain;
+      d_recent = recent_for t comp;
+      d_live_bytes = s.cs_live;
+      d_live_hwm = s.cs_hwm;
+      d_quarantine_bytes = t.quar_bytes;
+      d_quarantine_chunks = t.quar_chunks;
+      d_handler_ran = handler_ran;
+      d_rebooted = false;
+    }
+  in
+  if t.ndumps >= t.max_dumps then begin
+    (* drop the oldest; [max_dumps] is small and faults are rare *)
+    t.dumps_rev <- List.rev (List.tl (List.rev t.dumps_rev));
+    t.ndumps <- t.ndumps - 1
+  end;
+  t.dumps_rev <- d :: t.dumps_rev;
+  t.ndumps <- t.ndumps + 1
+
+let note_reboot t ~comp ~cycle:_ =
+  let s = stat t comp in
+  s.cs_reboots <- s.cs_reboots + 1;
+  let rec mark = function
+    | [] -> ()
+    | d :: rest ->
+        if d.d_comp = comp && not d.d_rebooted then d.d_rebooted <- true
+        else mark rest
+  in
+  mark t.dumps_rev
+
+let dumps t = List.rev t.dumps_rev
+
+let dump_json d =
+  Json.Obj
+    [
+      ("cycle", Json.Int d.d_cycle);
+      ("compartment", Json.Str d.d_comp);
+      ("thread", Json.Int d.d_thread);
+      ("cause", Json.Str d.d_cause);
+      ("addr", Json.Int d.d_addr);
+      ("pc", Json.Int d.d_pc);
+      ("instr", Json.Str d.d_instr);
+      ("registers", Json.Obj (List.map (fun (r, v) -> (r, Json.Str v)) d.d_regs));
+      ( "call_chain",
+        Json.List
+          (List.map
+             (fun (caller, callee, entry, cycle) ->
+               Json.Obj
+                 [
+                   ("caller", Json.Str caller);
+                   ("callee", Json.Str callee);
+                   ("entry", Json.Str entry);
+                   ("cycle", Json.Int cycle);
+                 ])
+             d.d_chain) );
+      ("recent", Json.List (List.map (fun l -> Json.Str l) d.d_recent));
+      ("heap_live_bytes", Json.Int d.d_live_bytes);
+      ("heap_high_water", Json.Int d.d_live_hwm);
+      ("quarantine_bytes", Json.Int d.d_quarantine_bytes);
+      ("quarantine_chunks", Json.Int d.d_quarantine_chunks);
+      ("handler_ran", Json.Bool d.d_handler_ran);
+      ("rebooted", Json.Bool d.d_rebooted);
+    ]
+
+let pp_dump ppf d =
+  let open Format in
+  fprintf ppf "=== crash dump @@ cycle %d ===@." d.d_cycle;
+  fprintf ppf "compartment : %s  (thread %d%s%s)@." d.d_comp d.d_thread
+    (if d.d_handler_ran then ", handler ran" else ", no handler")
+    (if d.d_rebooted then ", micro-rebooted" else "");
+  fprintf ppf "cause       : %s@." d.d_cause;
+  fprintf ppf "addr / pc   : %s / %s@."
+    (if d.d_addr < 0 then "-" else sprintf "0x%x" d.d_addr)
+    (if d.d_pc < 0 then "-" else sprintf "0x%x" d.d_pc);
+  fprintf ppf "instr       : %s@." d.d_instr;
+  if d.d_regs <> [] then begin
+    fprintf ppf "registers   :@.";
+    List.iter (fun (r, v) -> fprintf ppf "  %-5s %s@." r v) d.d_regs
+  end;
+  if d.d_chain <> [] then begin
+    fprintf ppf "call chain  : (innermost first)@.";
+    List.iter
+      (fun (caller, callee, entry, cycle) ->
+        fprintf ppf "  %s -> %s.%s  (entered @@ %d)@." caller callee entry
+          cycle)
+      d.d_chain
+  end;
+  if d.d_recent <> [] then begin
+    fprintf ppf "recent      : (oldest first)@.";
+    List.iter (fun l -> fprintf ppf "  %s@." l) d.d_recent
+  end;
+  fprintf ppf "heap        : live=%d hwm=%d quarantine=%d bytes in %d chunks@."
+    d.d_live_bytes d.d_live_hwm d.d_quarantine_bytes d.d_quarantine_chunks
+
+(* The health report: dumps + histograms + the PR 3 attribution fold,
+   one row per compartment.  Every iteration below is over sorted keys
+   so the output is byte-stable (pinned by test/golden_report.expected). *)
+
+type row = {
+  r_comp : string;
+  r_calls : int;
+  r_faults : int;
+  r_reboots : int;
+  r_p50 : int;
+  r_p99 : int;
+  r_call_total : int;
+  r_live : int;
+  r_hwm : int;
+  r_quar_p99 : int;
+  r_attr : int;
+}
+
+let rows t ~total_cycles ~events =
+  let attrib = Obs.attribute ~total_cycles events in
+  let names =
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) t.stats;
+    List.iter (fun (l, _) -> Hashtbl.replace tbl l ()) attrib;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  ( List.map
+      (fun comp ->
+        let s =
+          Option.value (Hashtbl.find_opt t.stats comp)
+            ~default:
+              { cs_calls = 0; cs_faults = 0; cs_reboots = 0;
+                cs_lat = hist_create (); cs_live = 0; cs_hwm = 0;
+                cs_quar = hist_create () }
+        in
+        {
+          r_comp = comp;
+          r_calls = s.cs_calls;
+          r_faults = s.cs_faults;
+          r_reboots = s.cs_reboots;
+          r_p50 = hist_quantile s.cs_lat 0.50;
+          r_p99 = hist_quantile s.cs_lat 0.99;
+          r_call_total = hist_sum s.cs_lat;
+          r_live = s.cs_live;
+          r_hwm = s.cs_hwm;
+          r_quar_p99 = hist_quantile s.cs_quar 0.99;
+          r_attr =
+            Option.value (List.assoc_opt comp attrib) ~default:0;
+        })
+      names,
+    attrib )
+
+let report_json t ~total_cycles ~events =
+  let rows, attrib = rows t ~total_cycles ~events in
+  let attributed = List.fold_left (fun a (_, c) -> a + c) 0 attrib in
+  Json.Obj
+    [
+      ("total_cycles", Json.Int total_cycles);
+      ( "sum_check",
+        Json.Obj
+          [
+            ("attributed_cycles", Json.Int attributed);
+            ("exact", Json.Bool (attributed = total_cycles));
+          ] );
+      ( "compartments",
+        Json.Obj
+          (List.map
+             (fun r ->
+               ( r.r_comp,
+                 Json.Obj
+                   [
+                     ("calls", Json.Int r.r_calls);
+                     ("faults", Json.Int r.r_faults);
+                     ("reboots", Json.Int r.r_reboots);
+                     ("call_p50_cycles", Json.Int r.r_p50);
+                     ("call_p99_cycles", Json.Int r.r_p99);
+                     ("call_cycles_total", Json.Int r.r_call_total);
+                     ("heap_live_bytes", Json.Int r.r_live);
+                     ("heap_high_water", Json.Int r.r_hwm);
+                     ("quarantine_p99_cycles", Json.Int r.r_quar_p99);
+                     ("attributed_cycles", Json.Int r.r_attr);
+                   ] ))
+             rows) );
+      ( "histograms",
+        Json.Obj
+          [
+            ("call_latency_cycles", hist_json t.call_lat);
+            ("irq_to_dispatch_cycles", hist_json t.irq_lat);
+            ("alloc_size_bytes", hist_json t.alloc_sz);
+            ("quarantine_residency_cycles", hist_json t.quar_res);
+          ] );
+      ("dumps", Json.List (List.map dump_json (dumps t)));
+    ]
+
+let report_table t ~total_cycles ~events =
+  let rows, attrib = rows t ~total_cycles ~events in
+  let attributed = List.fold_left (fun a (_, c) -> a + c) 0 attrib in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "per-compartment health  (total cycles = %d, attributed = %d%s)\n"
+    total_cycles attributed
+    (if attributed = total_cycles then ", exact" else ", MISMATCH");
+  Printf.bprintf b "%-16s %7s %6s %7s %9s %9s %9s %8s %9s %12s\n" "compartment"
+    "calls" "faults" "reboots" "call-p50" "call-p99" "heap-hwm" "quar-p99"
+    "heap-live" "attributed";
+  List.iter
+    (fun r ->
+      Printf.bprintf b "%-16s %7d %6d %7d %9d %9d %9d %8d %9d %12d\n" r.r_comp
+        r.r_calls r.r_faults r.r_reboots r.r_p50 r.r_p99 r.r_hwm r.r_quar_p99
+        r.r_live r.r_attr)
+    rows;
+  let line name h =
+    Printf.bprintf b "%-28s count=%d min=%d max=%d p50=%d p99=%d\n" name
+      (hist_count h) (hist_min h) (hist_max h) (hist_quantile h 0.50)
+      (hist_quantile h 0.99)
+  in
+  Buffer.add_string b "histograms:\n";
+  line "  call-latency-cycles" t.call_lat;
+  line "  irq-to-dispatch-cycles" t.irq_lat;
+  line "  alloc-size-bytes" t.alloc_sz;
+  line "  quarantine-residency-cycles" t.quar_res;
+  Printf.bprintf b "crash dumps retained: %d\n" t.ndumps;
+  Buffer.contents b

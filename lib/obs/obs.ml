@@ -125,13 +125,40 @@ let events t =
   let n = length t in
   List.init n (fun i -> t.buf.((t.head - n + i) mod t.cap))
 
+(* Ring capacity for the env-var auto-attach path.  CHERIOT_TRACE_CAP
+   wins over an integer CHERIOT_TRACE value; garbage or out-of-range
+   values fail loudly rather than silently truncating history. *)
+let cap_min = 16
+let cap_max = 1 lsl 24
+
+let ring_cap_env () =
+  match Sys.getenv_opt "CHERIOT_TRACE_CAP" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= cap_min && n <= cap_max -> Some n
+      | Some n ->
+          failwith
+            (Printf.sprintf
+               "CHERIOT_TRACE_CAP=%d out of range: must be in [%d, %d]" n
+               cap_min cap_max)
+      | None ->
+          failwith
+            (Printf.sprintf
+               "CHERIOT_TRACE_CAP=%S is not an integer (expected ring \
+                capacity in [%d, %d])"
+               s cap_min cap_max))
+
 let auto () =
   match Sys.getenv_opt "CHERIOT_TRACE" with
   | None | Some "" | Some "0" -> None
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 1 -> Some (create ~capacity:n ())
-      | _ -> Some (create ()))
+      match ring_cap_env () with
+      | Some n -> Some (create ~capacity:n ())
+      | None -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n > 1 -> Some (create ~capacity:n ())
+          | _ -> Some (create ())))
 
 (* Cycle attribution: walk the trace charging each inter-event delta to
    the context that was active while it elapsed.  Per-thread stacks of

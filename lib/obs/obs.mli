@@ -73,7 +73,17 @@ val auto : unit -> t option
     empty or ["0"] — [None]; an integer > 1 — a sink of that capacity;
     anything else — a default-capacity sink.  [Machine.create] attaches
     one to every new machine, which is how the traced golden-cycles
-    regression turns tracing on without touching the benchmarks. *)
+    regression turns tracing on without touching the benchmarks.
+
+    [CHERIOT_TRACE_CAP] overrides the ring capacity (so long fig7 runs
+    can keep enough history for crash dumps): an integer in
+    [\[16, 2^24\]].  Garbage or out-of-range values raise [Failure]
+    with a message naming the bounds — never a silently truncated
+    ring. *)
+
+val ring_cap_env : unit -> int option
+(** The validated [CHERIOT_TRACE_CAP] value, if set.  Raises [Failure]
+    on garbage (see {!auto}). *)
 
 (* Post-run folds *)
 

@@ -113,11 +113,11 @@ let firmware () =
     @ Netstack.compartments ()
     @ [ Jsvm.firmware_library () ])
 
-let run ?(fast = false) () =
+let run ?(fast = false) ?machine () =
   let p = if fast then fast_profile else slow_profile in
   Tls_lite.handshake_cycles := p.p_handshake;
   Microreboot.reboot_cycles := p.p_reboot;
-  let machine = Machine.create () in
+  let machine = match machine with Some m -> m | None -> Machine.create () in
   Machine.add_device machine ~base:0x1000_0000 ~size:16
     (Machine.Device.ram ~name:"led" ~size:16);
   let net = Netsim.attach ~latency:p.p_latency ~sntp_latency:p.p_sntp_latency machine in

@@ -30,10 +30,13 @@ type result = {
 val firmware : unit -> Firmware.t
 (** The 13-compartment image of the case study (for auditing tools). *)
 
-val run : ?fast:bool -> unit -> result
+val run : ?fast:bool -> ?machine:Machine.t -> unit -> result
 (** Run the scenario to completion.  [fast] shrinks the network/crypto
     latencies (~50x) so tests finish quickly; the default profile
-    approximates the paper's 52-second trace. *)
+    approximates the paper's 52-second trace.  [machine] supplies a
+    pre-built machine — the crashdump tooling uses this to attach a
+    trace sink and flight recorder before boot; the default is a fresh
+    {!Machine.create}. *)
 
 val pp_result : result Fmt.t
 (** The Fig. 7-shaped report: phase table and per-second load series. *)

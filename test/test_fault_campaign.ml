@@ -61,6 +61,43 @@ let test_faults_appear_in_trace () =
     "fault history identical with trace sink attached"
     plain.Fault_campaign.oc_trace o.Fault_campaign.oc_trace
 
+(* The flight recorder rides every scenario: each injected crash yields
+   exactly one well-formed dump blaming the injected target (these are
+   also campaign invariants — a violation would fail oc_violations on
+   all 200 long-mode scenarios — but this pins the dump contents
+   directly on a seed known to deliver crashes). *)
+let test_crash_dumps_match_injected_faults () =
+  let o = Fault_campaign.run_scenario ~seed:7 () in
+  Alcotest.(check (list string))
+    "seed 7 holds all invariants" [] o.Fault_campaign.oc_violations;
+  let dumps = o.Fault_campaign.oc_dumps in
+  Alcotest.(check bool) "seed 7 delivers crashes" true (dumps <> []);
+  let delivered =
+    List.length
+      (List.filter
+         (fun line ->
+           Astring.String.is_infix ~affix:"crash delivered" line)
+         o.Fault_campaign.oc_trace)
+  in
+  let injected =
+    List.filter (fun d -> d.Forensics.d_cause = "injected crash") dumps
+  in
+  Alcotest.(check int) "one dump per delivered crash" delivered
+    (List.length injected);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "dump blames the injected target" "svc"
+        d.Forensics.d_comp;
+      Alcotest.(check int) "full register file" 16
+        (List.length d.Forensics.d_regs);
+      Alcotest.(check bool) "handler ran" true d.Forensics.d_handler_ran;
+      let j = Forensics.dump_json d in
+      match Json.of_string (Json.to_string j) with
+      | Ok rt ->
+          Alcotest.(check bool) "dump JSON round-trips" true (Json.equal j rt)
+      | Error e -> Alcotest.failf "dump JSON failed to parse back: %s" e)
+    dumps
+
 let test_distinct_seeds_diverge () =
   let a = Fault_campaign.run_scenario ~seed:1 () in
   let b = Fault_campaign.run_scenario ~seed:2 () in
@@ -75,6 +112,8 @@ let suite =
       test_replay_deterministic;
     Alcotest.test_case "every injected fault appears in the trace" `Quick
       test_faults_appear_in_trace;
+    Alcotest.test_case "crash dumps match injected faults" `Quick
+      test_crash_dumps_match_injected_faults;
     Alcotest.test_case "distinct seeds diverge" `Quick
       test_distinct_seeds_diverge;
   ]

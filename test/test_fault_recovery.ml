@@ -136,7 +136,7 @@ let test_engine_crash_storm_recovers () =
       | Error _ -> ());
       Cap.null);
   System.run ~until_cycles:500_000_000 sys;
-  Microreboot.set_observer None;
+  Fault_inject.detach engine;
   Alcotest.(check bool) "crashes were delivered" true (!failed > 0);
   Alcotest.(check bool) "service survived between crashes" true (!ok > 0);
   Alcotest.(check bool) "service restored after the storm" true !final_ok;

@@ -1,0 +1,362 @@
+(* The flight recorder (lib/obs/forensics): streaming histogram
+   properties, crash-dump capture on a real injected fault, the
+   Microreboot subscriber list, JSON escaping round-trips and the
+   CHERIOT_TRACE_CAP validation — the PR 4 observability surface. *)
+
+module F = Firmware
+module Cap = Capability
+
+(* -------------------------------------------------------------------- *)
+(* Streaming log2 histograms: exact count/sum/min/max, and quantile
+   estimates within the bucket bound (v <= est < 2v) of the true
+   sorted-sample quantile.                                              *)
+
+let gen_samples = QCheck.Gen.(list_size (int_range 1 200) (int_range 0 1_000_000))
+
+let exact_quantile sorted q =
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let prop_hist_exact_counters =
+  QCheck.Test.make ~name:"histogram count/sum/min/max are exact" ~count:200
+    (QCheck.make
+       ~print:(fun l -> String.concat "," (List.map string_of_int l))
+       gen_samples)
+    (fun samples ->
+      let h = Forensics.hist_create () in
+      List.iter (Forensics.hist_add h) samples;
+      Forensics.hist_count h = List.length samples
+      && Forensics.hist_sum h = List.fold_left ( + ) 0 samples
+      && Forensics.hist_min h = List.fold_left min max_int samples
+      && Forensics.hist_max h = List.fold_left max min_int samples)
+
+let prop_hist_quantile_bounds =
+  QCheck.Test.make
+    ~name:"histogram quantiles bound the exact quantile within a bucket"
+    ~count:200
+    (QCheck.make
+       ~print:(fun l -> String.concat "," (List.map string_of_int l))
+       gen_samples)
+    (fun samples ->
+      let h = Forensics.hist_create () in
+      List.iter (Forensics.hist_add h) samples;
+      let sorted = List.sort compare samples in
+      List.for_all
+        (fun q ->
+          let est = Forensics.hist_quantile h q in
+          let v = exact_quantile sorted q in
+          if v = 0 then est = 0 else est >= v && est <= 2 * v)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+let prop_hist_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantile is monotone in q" ~count:200
+    (QCheck.make
+       ~print:(fun l -> String.concat "," (List.map string_of_int l))
+       gen_samples)
+    (fun samples ->
+      let h = Forensics.hist_create () in
+      List.iter (Forensics.hist_add h) samples;
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let ests = List.map (Forensics.hist_quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono ests)
+
+let test_hist_empty () =
+  let h = Forensics.hist_create () in
+  Alcotest.(check int) "count" 0 (Forensics.hist_count h);
+  Alcotest.(check int) "p50 of empty" 0 (Forensics.hist_quantile h 0.5)
+
+(* -------------------------------------------------------------------- *)
+(* Ingest mechanics on a hand-fed event stream: call latency, IRQ
+   entry-to-dispatch, allocation lifecycle and owner attribution.       *)
+
+let ingest t cycle kind = Forensics.ingest t ~cycle kind
+
+let test_ingest_call_latency () =
+  let t = Forensics.create () in
+  ingest t 0 (Obs.Thread_dispatch { tid = 0; name = "main" });
+  ingest t 100 (Obs.Call_enter { caller = "a"; callee = "b"; entry = "e"; tid = 0 });
+  ingest t 350 (Obs.Call_leave { callee = "b"; tid = 0; faulted = false });
+  let h = Forensics.call_latency t in
+  Alcotest.(check int) "one call" 1 (Forensics.hist_count h);
+  Alcotest.(check int) "latency min" 250 (Forensics.hist_min h);
+  Alcotest.(check int) "latency max" 250 (Forensics.hist_max h);
+  let r = Forensics.report_json t ~total_cycles:400 ~events:[] in
+  let b = Json.(member "b" (member "compartments" r)) in
+  Alcotest.(check (option int)) "b.calls" (Some 1)
+    Json.(to_int_opt (member "calls" b));
+  Alcotest.(check (option int)) "b.call_cycles_total" (Some 250)
+    Json.(to_int_opt (member "call_cycles_total" b))
+
+let test_ingest_irq_latency () =
+  let t = Forensics.create () in
+  ingest t 100 (Obs.Irq_enter { irq = 3 });
+  ingest t 130 (Obs.Thread_dispatch { tid = 1; name = "handler" });
+  (* a second dispatch without a pending IRQ adds nothing *)
+  ingest t 200 (Obs.Thread_dispatch { tid = 0; name = "main" });
+  let h = Forensics.irq_latency t in
+  Alcotest.(check int) "one irq" 1 (Forensics.hist_count h);
+  Alcotest.(check int) "entry-to-dispatch" 30 (Forensics.hist_min h)
+
+let test_ingest_quarantine_residency () =
+  let t = Forensics.create () in
+  ingest t 0 (Obs.Thread_dispatch { tid = 0; name = "main" });
+  ingest t 5 (Obs.Call_enter { caller = "a"; callee = "b"; entry = "e"; tid = 0 });
+  ingest t 10 (Obs.Alloc { base = 0x1000; size = 64 });
+  ingest t 50 (Obs.Free { base = 0x1000; size = 64 });
+  ingest t 50 (Obs.Quarantine { base = 0x1000; size = 64 });
+  ingest t 550 (Obs.Release { base = 0x1000; size = 64 });
+  Alcotest.(check int) "alloc size recorded" 64
+    (Forensics.hist_min (Forensics.alloc_size t));
+  let h = Forensics.quarantine_residency t in
+  Alcotest.(check int) "one residency sample" 1 (Forensics.hist_count h);
+  Alcotest.(check int) "residency cycles" 500 (Forensics.hist_min h);
+  (* the chunk is attributed to the compartment that allocated it *)
+  let r = Forensics.report_json t ~total_cycles:600 ~events:[] in
+  let b = Json.(member "b" (member "compartments" r)) in
+  Alcotest.(check (option int)) "owner residency p99" (Some 500)
+    Json.(to_int_opt (member "quarantine_p99_cycles" b));
+  Alcotest.(check (option int)) "heap high water" (Some 64)
+    Json.(to_int_opt (member "heap_high_water" b));
+  Alcotest.(check (option int)) "heap live back to zero" (Some 0)
+    Json.(to_int_opt (member "heap_live_bytes" b))
+
+(* -------------------------------------------------------------------- *)
+(* A real injected fault on a real kernel: the dump carries the right
+   compartment, cause, 16 registers, the caller chain and the reboot
+   mark; Microreboot's subscriber list delivers to every subscriber.    *)
+
+let firmware () =
+  System.image ~name:"forensics"
+    ~threads:
+      [
+        F.thread ~name:"driver" ~comp:"app" ~entry:"main" ~stack_size:4096
+          ~trusted_stack_frames:16 ();
+      ]
+    [
+      F.compartment "app" ~globals_size:16
+        ~entries:[ F.entry "main" ~arity:0 ~min_stack:1024 ]
+        ~imports:
+          (System.standard_imports @ [ F.Call { comp = "svc"; entry = "work" } ]);
+      F.compartment "svc" ~globals_size:16 ~error_handler:true
+        ~entries:[ F.entry "work" ~arity:0 ~min_stack:512 ]
+        ~imports:System.standard_imports;
+    ]
+
+(* Boot, crash the service once at the call boundary, micro-reboot it,
+   and return the machine's flight recorder. *)
+let run_crash () =
+  let machine = Machine.create () in
+  Machine.set_trace machine (Some (Obs.create ()));
+  let frn = Forensics.create () in
+  Machine.set_forensics machine (Some frn);
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  let k = sys.System.kernel in
+  Kernel.snapshot_globals k ~comp:"svc";
+  Kernel.implement1 k ~comp:"svc" ~entry:"work" (fun _ _ ->
+      Interp.int_value 1);
+  Kernel.set_error_handler k ~comp:"svc" (fun cctx _fi ->
+      Microreboot.perform cctx ~comp:"svc"
+        {
+          Microreboot.wake_blocked = (fun () -> ());
+          release_heap = (fun () -> ());
+          reset_state = (fun () -> ());
+        };
+      `Unwind);
+  let crash_next = ref true in
+  Kernel.set_call_fault_hook k
+    (Some
+       (fun ~comp ~entry:_ ->
+         if comp = "svc" && !crash_next then begin
+           crash_next := false;
+           true
+         end
+         else false));
+  Kernel.implement1 k ~comp:"app" ~entry:"main" (fun ctx _ ->
+      (match Kernel.call1 ctx ~import:"svc.work" [] with
+      | Error Kernel.Fault_in_callee -> ()
+      | Ok _ -> Alcotest.fail "injected crash did not surface"
+      | Error e -> Alcotest.failf "unexpected error: %a" Kernel.pp_call_error e);
+      Cap.null);
+  System.run ~until_cycles:500_000_000 sys;
+  frn
+
+let test_crash_dump_fields () =
+  let frn = run_crash () in
+  match Forensics.dumps frn with
+  | [ d ] ->
+      Alcotest.(check string) "compartment" "svc" d.Forensics.d_comp;
+      Alcotest.(check string) "cause" "injected crash" d.Forensics.d_cause;
+      Alcotest.(check int) "full register file" 16
+        (List.length d.Forensics.d_regs);
+      Alcotest.(check bool) "handler ran" true d.Forensics.d_handler_ran;
+      Alcotest.(check bool) "micro-rebooted" true d.Forensics.d_rebooted;
+      (match d.Forensics.d_chain with
+      | (caller, callee, entry, _) :: _ ->
+          Alcotest.(check string) "innermost caller" "app" caller;
+          Alcotest.(check string) "innermost callee" "svc" callee;
+          Alcotest.(check string) "innermost entry" "work" entry
+      | [] -> Alcotest.fail "empty call chain");
+      Alcotest.(check bool) "recent events captured" true
+        (d.Forensics.d_recent <> []);
+      (* the dump serializes to JSON that parses back identically *)
+      let j = Forensics.dump_json d in
+      let rt = Result.get_ok (Json.of_string (Json.to_string j)) in
+      Alcotest.(check bool) "dump JSON round-trips" true (Json.equal j rt)
+  | ds -> Alcotest.failf "expected exactly one dump, got %d" (List.length ds)
+
+let test_microreboot_subscribers () =
+  let fired_a = ref 0 and fired_b = ref 0 and seen = ref [] in
+  let sa =
+    Microreboot.subscribe (fun ~comp ~cycle:_ ->
+        incr fired_a;
+        seen := comp :: !seen)
+  in
+  let sb = Microreboot.subscribe (fun ~comp:_ ~cycle:_ -> incr fired_b) in
+  ignore (run_crash ());
+  Alcotest.(check int) "first subscriber fired" 1 !fired_a;
+  Alcotest.(check int) "second subscriber fired too" 1 !fired_b;
+  Alcotest.(check (list string)) "right compartment" [ "svc" ] !seen;
+  (* unsubscribing one must not detach the other *)
+  Microreboot.unsubscribe sa;
+  ignore (run_crash ());
+  Alcotest.(check int) "unsubscribed stays quiet" 1 !fired_a;
+  Alcotest.(check int) "survivor still fires" 2 !fired_b;
+  Microreboot.unsubscribe sb
+
+(* -------------------------------------------------------------------- *)
+(* JSON escaping: hostile strings survive the Chrome exporter and the
+   crash-dump serializer.                                               *)
+
+let hostile = "qu\"ote back\\slash tab\t nl\n bell\x07 nul\x00 end"
+
+let test_json_escaping_chrome () =
+  let evs =
+    [
+      { Obs.cycle = 0; kind = Obs.Thread_dispatch { tid = 0; name = hostile } };
+      {
+        Obs.cycle = 10;
+        kind =
+          Obs.Call_enter
+            { caller = hostile; callee = "c\\d"; entry = "e\nf"; tid = 0 };
+      };
+      { Obs.cycle = 20; kind = Obs.Call_leave { callee = "c\\d"; tid = 0; faulted = false } };
+      { Obs.cycle = 30; kind = Obs.Fault_note { note = hostile } };
+    ]
+  in
+  let j = Obs.to_chrome evs in
+  match Json.of_string (Json.to_string j) with
+  | Ok rt -> Alcotest.(check bool) "chrome JSON round-trips" true (Json.equal j rt)
+  | Error e -> Alcotest.failf "chrome JSON failed to parse back: %s" e
+
+let test_json_escaping_dump () =
+  let t = Forensics.create () in
+  Forensics.record_fault t ~cycle:42 ~comp:hostile ~thread:0 ~cause:hostile
+    ~addr:(-1) ~pc:0 ~instr:hostile
+    ~regs:[ (hostile, hostile) ]
+    ~handler_ran:false;
+  match Forensics.dumps t with
+  | [ d ] -> (
+      let j = Forensics.dump_json d in
+      match Json.of_string (Json.to_string j) with
+      | Ok rt ->
+          Alcotest.(check bool) "dump JSON round-trips" true (Json.equal j rt);
+          Alcotest.(check (option string)) "cause intact" (Some hostile)
+            Json.(to_string_opt (member "cause" rt))
+      | Error e -> Alcotest.failf "dump JSON failed to parse back: %s" e)
+  | _ -> Alcotest.fail "expected one dump"
+
+(* -------------------------------------------------------------------- *)
+(* CHERIOT_TRACE_CAP validation.                                        *)
+
+let with_cap v f =
+  Unix.putenv "CHERIOT_TRACE_CAP" v;
+  Fun.protect ~finally:(fun () -> Unix.putenv "CHERIOT_TRACE_CAP" "") f
+
+let test_trace_cap_env () =
+  with_cap "" (fun () ->
+      Alcotest.(check (option int)) "unset" None (Obs.ring_cap_env ()));
+  with_cap "4096" (fun () ->
+      Alcotest.(check (option int)) "valid" (Some 4096) (Obs.ring_cap_env ()));
+  with_cap "4" (fun () ->
+      match Obs.ring_cap_env () with
+      | exception Failure msg ->
+          Alcotest.(check bool) "names the bounds" true
+            (Astring.String.is_infix ~affix:"out of range" msg)
+      | _ -> Alcotest.fail "out-of-range capacity accepted");
+  with_cap "banana" (fun () ->
+      match Obs.ring_cap_env () with
+      | exception Failure msg ->
+          Alcotest.(check bool) "names the expectation" true
+            (Astring.String.is_infix ~affix:"not an integer" msg)
+      | _ -> Alcotest.fail "garbage capacity accepted");
+  with_cap "4096" (fun () ->
+      Unix.putenv "CHERIOT_TRACE" "1";
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv "CHERIOT_TRACE" "")
+        (fun () ->
+          match Obs.auto () with
+          | Some o -> Alcotest.(check int) "auto honours cap" 4096 (Obs.capacity o)
+          | None -> Alcotest.fail "auto returned no sink"))
+
+(* -------------------------------------------------------------------- *)
+(* The report sum-check on a real run: attribution is exact and the
+   table renders it.                                                    *)
+
+let test_report_sum_check () =
+  let machine = Machine.create () in
+  let obs = Obs.create () in
+  Machine.set_trace machine (Some obs);
+  let frn = Forensics.create () in
+  Machine.set_forensics machine (Some frn);
+  let sys = Result.get_ok (System.boot ~machine (firmware ())) in
+  Kernel.implement1 sys.System.kernel ~comp:"svc" ~entry:"work" (fun _ _ ->
+      Interp.int_value 1);
+  Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
+      for _ = 1 to 5 do
+        ignore (Kernel.call1 ctx ~import:"svc.work" [])
+      done;
+      Cap.null);
+  System.run ~until_cycles:500_000_000 sys;
+  let total_cycles = Machine.cycles machine in
+  let events = Obs.events obs in
+  let r = Forensics.report_json frn ~total_cycles ~events in
+  Alcotest.(check (option bool)) "sum check exact" (Some true)
+    (match Json.(member "exact" (member "sum_check" r)) with
+    | Json.Bool b -> Some b
+    | _ -> None);
+  Alcotest.(check (option int)) "attributed equals total" (Some total_cycles)
+    Json.(to_int_opt (member "attributed_cycles" (member "sum_check" r)));
+  let table = Forensics.report_table frn ~total_cycles ~events in
+  Alcotest.(check bool) "table marks the sum exact" true
+    (Astring.String.is_infix ~affix:", exact" table);
+  Alcotest.(check (option int)) "five calls counted" (Some 5)
+    Json.(to_int_opt (member "calls" (member "svc" (member "compartments" r))))
+
+let suite =
+  [
+    Qcheck_seed.to_alcotest prop_hist_exact_counters;
+    Qcheck_seed.to_alcotest prop_hist_quantile_bounds;
+    Qcheck_seed.to_alcotest prop_hist_quantile_monotone;
+    Alcotest.test_case "empty histogram" `Quick test_hist_empty;
+    Alcotest.test_case "ingest: call latency" `Quick test_ingest_call_latency;
+    Alcotest.test_case "ingest: irq-to-dispatch" `Quick test_ingest_irq_latency;
+    Alcotest.test_case "ingest: quarantine residency" `Quick
+      test_ingest_quarantine_residency;
+    Alcotest.test_case "crash dump fields" `Quick test_crash_dump_fields;
+    Alcotest.test_case "microreboot subscriber list" `Quick
+      test_microreboot_subscribers;
+    Alcotest.test_case "JSON escaping: chrome exporter" `Quick
+      test_json_escaping_chrome;
+    Alcotest.test_case "JSON escaping: crash dump" `Quick
+      test_json_escaping_dump;
+    Alcotest.test_case "CHERIOT_TRACE_CAP validation" `Quick
+      test_trace_cap_env;
+    Alcotest.test_case "report sum-check" `Quick test_report_sum_check;
+  ]
+
+let () = Alcotest.run "cheriot_forensics" [ ("forensics", suite) ]

@@ -84,11 +84,13 @@ let print_ops ops =
        ops)
 
 (* Run [ops] on a fresh system; returns the final simulated cycle count
-   and the trace (empty when no sink was attached). *)
-let run_program ~traced ops =
+   and the trace (empty when no sink was attached).  [forensics]
+   additionally attaches a flight recorder to the trace stream. *)
+let run_program ?(forensics = false) ~traced ops =
   let machine = Machine.create () in
   let obs = if traced then Some (Obs.create ()) else None in
   Machine.set_trace machine obs;
+  if forensics then Machine.set_forensics machine (Some (Forensics.create ()));
   let sys = Result.get_ok (System.boot ~machine (firmware ())) in
   Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
       let q = quota ctx in
@@ -155,12 +157,23 @@ let prop_tracing_invisible =
       let off, _ = run_program ~traced:false ops in
       on = off)
 
+let prop_forensics_invisible =
+  QCheck.Test.make
+    ~name:"simulated cycles bit-identical with the flight recorder attached"
+    ~count:15
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let on, _ = run_program ~traced:true ~forensics:true ops in
+      let off, _ = run_program ~traced:false ops in
+      on = off)
+
 let suite =
   [
     Qcheck_seed.to_alcotest prop_ring_keeps_newest;
     Qcheck_seed.to_alcotest prop_stamps_monotone_per_source;
     Qcheck_seed.to_alcotest prop_attribution_totals_exact;
     Qcheck_seed.to_alcotest prop_tracing_invisible;
+    Qcheck_seed.to_alcotest prop_forensics_invisible;
   ]
 
 let () = Alcotest.run "cheriot_obs_props" [ ("trace-properties", suite) ]
