@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-seeds report-smoke ci campaign bench perf clean
+.PHONY: all build test test-seeds report-smoke ci campaign campaign-par bench perf clean
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 # (the suites read QCHECK_SEED; a failure prints the seed to replay).
 SEEDS ?= 1 7 42 1234 987654321
 PROP_TESTS = test_cap_props test_alloc_props test_mem_props test_obs_props \
-	test_forensics
+	test_forensics test_interp_equiv
 
 test-seeds: build
 	@for s in $(SEEDS); do \
@@ -35,11 +35,21 @@ report-smoke: build
 	dune exec bench/main.exe -- crashdump 7 >/dev/null
 	@echo "report-smoke: report matches golden, crashdump replays"
 
-ci: build test test-seeds report-smoke perf
+ci: build test test-seeds report-smoke campaign-par perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
+# Farmed across all cores by default; --jobs 1 forces the sequential path.
 campaign:
 	dune exec bench/main.exe -- campaign
+
+# Farm determinism smoke: an 8-scenario campaign at --jobs 4 must be
+# byte-identical to the sequential run (the farm's ordering contract,
+# plus the no-cross-machine-global-state invariant from DESIGN.md).
+campaign-par: build
+	@FAULT_CAMPAIGN_ITERS=8 dune exec bench/main.exe -- campaign --jobs 1 2>/dev/null > _build/campaign_j1.out
+	@FAULT_CAMPAIGN_ITERS=8 dune exec bench/main.exe -- campaign --jobs 4 2>/dev/null > _build/campaign_j4.out
+	@diff _build/campaign_j1.out _build/campaign_j4.out
+	@echo "campaign-par: --jobs 4 output identical to --jobs 1"
 
 bench:
 	dune exec bench/main.exe

@@ -325,7 +325,7 @@ let fig6a () =
 (* Fig. 6b: sustained allocator throughput vs allocation size.        *)
 (* ------------------------------------------------------------------ *)
 
-let fig6b ?(drain = 2) ?(revoker_rate = Cost.revoker_cycles_per_granule) () =
+let fig6b ?(drain = 2) ?(revoker_rate = Cost.revoker_cycles_per_granule) ?jobs () =
   section
     (Printf.sprintf
        "Fig. 6b: sustained allocation rate (drain/op=%d, revoker=%d cy/granule)"
@@ -334,44 +334,49 @@ let fig6b ?(drain = 2) ?(revoker_rate = Cost.revoker_cycles_per_granule) () =
   let sizes =
     [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536; 98304; 131072 ]
   in
-  List.iter
-    (fun size ->
-      let machine = Machine.create () in
-      Machine.set_revoker_rate machine ~cycles_per_granule:revoker_rate;
-      let fw =
-        System.image ~name:"allocbench"
-          ~sealed_objects:
-            [ Allocator.alloc_capability ~name:"big_quota" ~quota:(200 * 1024) ]
-          ~threads:
-            [ F.thread ~name:"main" ~comp:"bench" ~entry:"main" ~stack_size:2048 () ]
-          [
-            F.compartment "bench" ~globals_size:32
-              ~entries:[ F.entry "main" ~arity:0 ~min_stack:512 ]
-              ~imports:
-                (System.standard_imports @ [ F.Static_sealed { target = "big_quota" } ]);
-          ]
-      in
-      let sys = Result.get_ok (System.boot ~machine ~drain_per_op:drain fw) in
-      let k = sys.System.kernel in
-      let heap = Allocator.heap_size sys.System.alloc in
-      (* total traffic: 8x the heap, as in the paper (capped for sim time) *)
-      let pairs = max 4 (min 4000 (8 * heap / size)) in
-      let result = ref 0 in
-      Kernel.implement1 k ~comp:"bench" ~entry:"main" (fun ctx _ ->
-          let q = quota_of ctx "big_quota" in
-          let c0 = Machine.cycles machine in
-          let ok = ref 0 in
-          for _ = 1 to pairs do
-            match Allocator.allocate ctx ~alloc_cap:q size with
-            | Ok c ->
-                incr ok;
-                ignore (Allocator.free ctx ~alloc_cap:q c)
-            | Error _ -> ()
-          done;
-          result := (Machine.cycles machine - c0) / max 1 !ok;
-          Cap.null);
-      System.run ~until_cycles:8_000_000_000 sys;
-      let cyc = !result in
+  (* One self-contained simulation per size; farmed across domains, with
+     the results printed after the merge, in size order — the golden
+     output is byte-identical for every job count. *)
+  let measure size =
+    let machine = Machine.create () in
+    Machine.set_revoker_rate machine ~cycles_per_granule:revoker_rate;
+    let fw =
+      System.image ~name:"allocbench"
+        ~sealed_objects:
+          [ Allocator.alloc_capability ~name:"big_quota" ~quota:(200 * 1024) ]
+        ~threads:
+          [ F.thread ~name:"main" ~comp:"bench" ~entry:"main" ~stack_size:2048 () ]
+        [
+          F.compartment "bench" ~globals_size:32
+            ~entries:[ F.entry "main" ~arity:0 ~min_stack:512 ]
+            ~imports:
+              (System.standard_imports @ [ F.Static_sealed { target = "big_quota" } ]);
+        ]
+    in
+    let sys = Result.get_ok (System.boot ~machine ~drain_per_op:drain fw) in
+    let k = sys.System.kernel in
+    let heap = Allocator.heap_size sys.System.alloc in
+    (* total traffic: 8x the heap, as in the paper (capped for sim time) *)
+    let pairs = max 4 (min 4000 (8 * heap / size)) in
+    let result = ref 0 in
+    Kernel.implement1 k ~comp:"bench" ~entry:"main" (fun ctx _ ->
+        let q = quota_of ctx "big_quota" in
+        let c0 = Machine.cycles machine in
+        let ok = ref 0 in
+        for _ = 1 to pairs do
+          match Allocator.allocate ctx ~alloc_cap:q size with
+          | Ok c ->
+              incr ok;
+              ignore (Allocator.free ctx ~alloc_cap:q c)
+          | Error _ -> ()
+        done;
+        result := (Machine.cycles machine - c0) / max 1 !ok;
+        Cap.null);
+    System.run ~until_cycles:8_000_000_000 sys;
+    !result
+  in
+  List.iter2
+    (fun size cyc ->
       let bytes_per_cycle = float_of_int size /. float_of_int (max 1 cyc) in
       let mib_s =
         bytes_per_cycle *. float_of_int (Machine.clock_mhz * 1_000_000) /. (1024. *. 1024.)
@@ -382,7 +387,8 @@ let fig6b ?(drain = 2) ?(revoker_rate = Cost.revoker_cycles_per_granule) () =
         else "pathological (revoker synchronous)"
       in
       Fmt.pr "  %10d %14d %12.2f %s@." size cyc mib_s regime)
-    sizes;
+    sizes
+    (Farm.map_list ?jobs measure sizes);
   Fmt.pr
     "  (paper: throughput rises with size, ~5 MiB/s above 1 KiB, drops past 32 KiB,@.\
     \   pathological past 80 KiB when free..malloc synchronises with the revoker)@."
@@ -596,12 +602,12 @@ let bechamel_tests () =
 (* Long-mode fault-injection campaign (the quick 8-scenario version
    runs under `dune runtest`): 200 seeded scenarios by default,
    FAULT_CAMPAIGN_ITERS overrides, any failing seed replays exactly. *)
-let campaign () =
+let campaign ?(jobs = 1) () =
   let n = Fault_campaign.iters ~default:200 in
   section
     (Fmt.str "Fault-injection campaign (%d scenarios, seeds 1..%d)" n n);
   let t0 = Unix.gettimeofday () in
-  let failures, outcomes = Fault_campaign.run ~base_seed:1 ~n () in
+  let failures, outcomes = Fault_campaign.run ~jobs ~base_seed:1 ~n () in
   let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
   Fmt.pr "  scenarios              %10d@." (List.length outcomes);
   Fmt.pr "  faults injected        %10d@."
@@ -614,8 +620,30 @@ let campaign () =
   Fmt.pr "  simulated cycles       %10d@."
     (sum (fun o -> o.Fault_campaign.oc_cycles));
   Fmt.pr "  invariant violations   %10d@." failures;
-  Fmt.pr "  wall clock             %12.1f s@." (Unix.gettimeofday () -. t0);
+  (* Wall clock goes to stderr: stdout must be byte-identical for every
+     --jobs value (the campaign-par smoke target diffs it). *)
+  Fmt.epr "campaign: %d jobs, wall clock %.1f s@." jobs
+    (Unix.gettimeofday () -. t0);
   if failures > 0 then exit 1
+
+let campaign_cmd args =
+  let jobs = ref (Farm.default_jobs ()) in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            Fmt.epr "campaign: --jobs expects a positive integer, got %s@." v;
+            exit 1)
+    | a :: _ ->
+        Fmt.epr "campaign: unknown argument %s@." a;
+        exit 1
+  in
+  parse args;
+  campaign ~jobs:!jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* Cycle-attributed tracing (lib/obs): run a workload under a trace   *)
@@ -945,11 +973,21 @@ let perf_measurements () =
         let failures, _ = Fault_campaign.run ~base_seed:1 ~n:8 () in
         if failures > 0 then failwith "perf-json: campaign reported violations")
   in
+  (* The same 8 scenarios farmed over 4 domains; speedup depends on the
+     host's physical cores (recorded alongside, so the number can be
+     judged in context). *)
+  let campaign8_jobs4_s =
+    timed (fun () ->
+        let failures, _ = Fault_campaign.run ~jobs:4 ~base_seed:1 ~n:8 () in
+        if failures > 0 then failwith "perf-json: campaign reported violations")
+  in
   let base =
     [
       ("ns_per_instr", Json.Str (Printf.sprintf "%.1f" ns));
       ("fig7_fast_s", Json.Str (Printf.sprintf "%.3f" fig7_fast_s));
       ("campaign8_s", Json.Str (Printf.sprintf "%.3f" campaign8_s));
+      ("campaign8_jobs4_s", Json.Str (Printf.sprintf "%.3f" campaign8_jobs4_s));
+      ("host_cores", Json.Str (string_of_int (Farm.default_jobs ())));
     ]
   in
   (* `make perf` times the tier-1 suite outside this process and passes
@@ -1037,7 +1075,6 @@ let experiments : (string * string * (unit -> unit)) list =
         ablate_quarantine ();
         ablate_loadfilter ();
         ablate_revoker () );
-    ("campaign", "seeded fault-injection campaign", campaign);
     ("perf-json", "machine-readable perf summary", perf_json);
     ("wallclock", "Bechamel host wall-clock suite", wallclock);
   ]
@@ -1054,6 +1091,10 @@ let subcommands : (string * string * (string list -> unit)) list =
     ( "crashdump",
       "crashdump <pod|seed>: flight-recorder dumps from a faulting run",
       crashdump_cmd );
+    ( "campaign",
+      "campaign [--jobs N]: seeded fault-injection campaign, farmed over N \
+       domains (default: all cores; output identical for every N)",
+      campaign_cmd );
   ]
 
 let usage () =

@@ -18,6 +18,21 @@ type t = {
   mutable irq_handlers : (int -> unit) list;
   mutable call_fault_hook : (comp:string -> entry:string -> bool) option;
   pad_exec : Cap.t;
+  (* Recovery state lives on the kernel, never at module level: several
+     kernels must be able to run concurrently (one per farm domain)
+     without observing each other's reboots, budgets or keys. *)
+  mutable reboot_cycles : int;
+  mutable reboot_watchers : (int * (comp:string -> cycle:int -> unit)) list;
+  mutable next_watcher : int;
+  mutable reboot_limits : (string * reboot_limit) list;
+  mutable service_keys : (string * Cap.t) list;
+}
+
+and reboot_limit = {
+  rl_max : int;
+  rl_window : int;
+  mutable rl_history : int list;  (** reboot timestamps, newest first *)
+  mutable rl_locked : bool;
 }
 
 and comp_runtime = {
@@ -203,6 +218,11 @@ let boot ?loader_size ?(quantum = 2000) ~machine fw =
           pad_exec =
             Cap.make_root ~base:Abi.return_pad ~top:(Abi.return_pad + 16)
               ~perms:Perm.Set.executable;
+          reboot_cycles = 50_000;
+          reboot_watchers = [];
+          next_watcher = 0;
+          reboot_limits = [];
+          service_keys = [];
         }
       in
       let deliver irq =
@@ -278,6 +298,37 @@ let note_reboot t ~comp =
   c.reboots <- c.reboots + 1
 
 let reboot_count t ~comp = (comp_runtime t comp).reboots
+
+let reboot_cycles t = t.reboot_cycles
+let set_reboot_cycles t n = t.reboot_cycles <- n
+
+type reboot_watcher = int
+
+let watch_reboots t f =
+  let id = t.next_watcher in
+  t.next_watcher <- id + 1;
+  t.reboot_watchers <- t.reboot_watchers @ [ (id, f) ];
+  id
+
+let unwatch_reboots t id =
+  t.reboot_watchers <- List.remove_assoc id t.reboot_watchers
+
+let reboot_watchers t = List.map snd t.reboot_watchers
+
+let reboot_limit t ~comp = List.assoc_opt comp t.reboot_limits
+
+let set_reboot_limit t ~comp limit =
+  let rest = List.remove_assoc comp t.reboot_limits in
+  t.reboot_limits <-
+    (match limit with Some l -> (comp, l) :: rest | None -> rest)
+
+let service_key t name = List.assoc_opt name t.service_keys
+
+let set_service_key t name key =
+  t.service_keys <- (name, key) :: List.remove_assoc name t.service_keys
+
+let clear_service_key t name =
+  t.service_keys <- List.remove_assoc name t.service_keys
 
 let snapshot_globals t ~comp =
   let c = comp_runtime t comp in

@@ -164,6 +164,47 @@ val note_reboot : t -> comp:string -> unit
 
 val reboot_count : t -> comp:string -> int
 
+(* All recovery state below is per-kernel, never module-level: one
+   kernel per farm domain must run without observing another kernel's
+   reboots, budgets or keys (see DESIGN.md, "no cross-machine global
+   state").  {!Microreboot} provides the orchestration on top. *)
+
+val reboot_cycles : t -> int
+(** Modelled micro-reboot reset latency (default 50_000 cycles; the
+    0.27 s of Fig. 7 at the paper profile). *)
+
+val set_reboot_cycles : t -> int -> unit
+
+type reboot_watcher
+
+val watch_reboots : t -> (comp:string -> cycle:int -> unit) -> reboot_watcher
+(** Register a post-reboot callback on this kernel.  Additive:
+    registration never replaces an earlier watcher; all fire in
+    registration order. *)
+
+val unwatch_reboots : t -> reboot_watcher -> unit
+(** Remove a watcher; unknown/stale handles are ignored. *)
+
+val reboot_watchers : t -> (comp:string -> cycle:int -> unit) list
+(** The registered callbacks, in registration order. *)
+
+type reboot_limit = {
+  rl_max : int;
+  rl_window : int;
+  mutable rl_history : int list;  (** reboot timestamps, newest first *)
+  mutable rl_locked : bool;
+}
+
+val reboot_limit : t -> comp:string -> reboot_limit option
+val set_reboot_limit : t -> comp:string -> reboot_limit option -> unit
+
+val service_key : t -> string -> value option
+(** Per-kernel storage for service compartments' lazily created sealing
+    keys (e.g. the queue compartment's virtual token key). *)
+
+val set_service_key : t -> string -> value -> unit
+val clear_service_key : t -> string -> unit
+
 (* Interrupt plumbing for the scheduler compartment *)
 
 val add_irq_handler : t -> (int -> unit) -> unit

@@ -4,67 +4,55 @@ type steps = {
   reset_state : unit -> unit;
 }
 
-let reboot_cycles = ref 50_000
+let default_reboot_cycles = 50_000
 
 let count k ~comp = Kernel.reboot_count k ~comp
 
-(* Rate limiting: per-compartment reboot timestamps and budgets.  Keyed
-   by compartment name; budgets are per-kernel in practice since tests
-   create fresh kernels (names rarely collide across live kernels, and a
-   stale entry only makes the limiter stricter). *)
-type limiter = {
-  l_max : int;
-  l_window : int;
-  mutable l_history : int list;  (** reboot timestamps, newest first *)
-  mutable l_locked : bool;
-}
+(* Rate limiting and reboot subscribers both live on the kernel
+   ({!Kernel.reboot_limit}, {!Kernel.watch_reboots}): concurrently live
+   kernels — one per farm domain — must never observe each other's
+   budgets or reboot notifications. *)
 
-let limiters : (string, limiter) Hashtbl.t = Hashtbl.create 8
+type sub = Kernel.reboot_watcher
 
-(* Reboot subscribers: an additive list (registration order preserved)
-   so several observers — the fault-campaign trace logger, the flight
-   recorder, tests — coexist instead of silently replacing each other. *)
+let subscribe k f = Kernel.watch_reboots k f
+let unsubscribe k id = Kernel.unwatch_reboots k id
 
-type sub = int
-
-let subscribers : (sub * (comp:string -> cycle:int -> unit)) list ref = ref []
-let next_sub = ref 0
-
-let subscribe f =
-  let id = !next_sub in
-  incr next_sub;
-  subscribers := !subscribers @ [ (id, f) ];
-  id
-
-let unsubscribe id = subscribers := List.remove_assoc id !subscribers
-
-let set_rate_limit _k ~comp ~max_reboots ~window =
-  Hashtbl.replace limiters comp
-    { l_max = max_reboots; l_window = window; l_history = []; l_locked = false }
+let set_rate_limit k ~comp ~max_reboots ~window =
+  Kernel.set_reboot_limit k ~comp
+    (Some
+       {
+         Kernel.rl_max = max_reboots;
+         rl_window = window;
+         rl_history = [];
+         rl_locked = false;
+       })
 
 let is_locked_out k ~comp =
-  match Hashtbl.find_opt limiters comp with
-  | Some l -> l.l_locked && Kernel.is_poisoned k ~comp
+  match Kernel.reboot_limit k ~comp with
+  | Some l -> l.Kernel.rl_locked && Kernel.is_poisoned k ~comp
   | None -> false
 
 let clear_lockout k ~comp =
-  (match Hashtbl.find_opt limiters comp with
+  (match Kernel.reboot_limit k ~comp with
   | Some l ->
-      l.l_locked <- false;
-      l.l_history <- []
+      l.Kernel.rl_locked <- false;
+      l.Kernel.rl_history <- []
   | None -> ());
   Kernel.poison k ~comp false
 
 (* Returns true when the compartment may reopen after this reboot. *)
 let note_and_check ctx comp =
-  match Hashtbl.find_opt limiters comp with
+  let k = ctx.Kernel.kernel in
+  match Kernel.reboot_limit k ~comp with
   | None -> true
   | Some l ->
-      let now = Machine.cycles (Kernel.machine ctx.Kernel.kernel) in
-      l.l_history <-
-        now :: List.filter (fun t -> now - t <= l.l_window) l.l_history;
-      if List.length l.l_history > l.l_max then begin
-        l.l_locked <- true;
+      let now = Machine.cycles (Kernel.machine k) in
+      l.Kernel.rl_history <-
+        now
+        :: List.filter (fun t -> now - t <= l.Kernel.rl_window) l.Kernel.rl_history;
+      if List.length l.Kernel.rl_history > l.Kernel.rl_max then begin
+        l.Kernel.rl_locked <- true;
         false
       end
       else true
@@ -82,16 +70,16 @@ let perform ctx ~comp steps =
   Kernel.restore_globals k ~comp;
   steps.reset_state ();
   (* Modelled reset latency, then step 5: reopen. *)
-  Machine.tick (Kernel.machine k) !reboot_cycles;
+  Machine.tick (Kernel.machine k) (Kernel.reboot_cycles k);
   Kernel.note_reboot k ~comp;
   let cycle = Machine.cycles (Kernel.machine k) in
   (* The flight recorder is wired in directly (it rides the machine, not
-     the module-level subscriber list, so per-machine recorders never
-     cross-talk between concurrently live kernels). *)
+     the watcher list, so per-machine recorders never cross-talk between
+     concurrently live kernels). *)
   (match Machine.forensics (Kernel.machine k) with
   | Some f -> Forensics.note_reboot f ~comp ~cycle
   | None -> ());
-  List.iter (fun (_, f) -> f ~comp ~cycle) !subscribers;
+  List.iter (fun f -> f ~comp ~cycle) (Kernel.reboot_watchers k);
   (* Step 5: reopen — unless the rate limiter says this compartment is
      being reboot-bombed. *)
   if note_and_check ctx comp then Kernel.poison k ~comp false

@@ -25,9 +25,11 @@ type steps = {
   reset_state : unit -> unit;  (** step 4, beyond the globals snapshot *)
 }
 
-val reboot_cycles : int ref
-(** Modelled reset latency charged by {!perform} (the 0.27 s of Fig. 7
-    at the paper profile; small in unit tests). *)
+val default_reboot_cycles : int
+(** Default modelled reset latency charged by {!perform} (the 0.27 s of
+    Fig. 7 at the paper profile; small in unit tests).  The live value is
+    per-kernel — {!Kernel.set_reboot_cycles} — so concurrently running
+    simulations can model different reset costs. *)
 
 val perform : Kernel.ctx -> comp:string -> steps -> unit
 (** Run the five steps from inside the compartment's error handler:
@@ -37,16 +39,18 @@ val perform : Kernel.ctx -> comp:string -> steps -> unit
 val count : Kernel.t -> comp:string -> int
 (** Completed micro-reboots of the compartment since boot. *)
 
-(** Module-level reboot subscribers, called after each completed reboot
+(** Per-kernel reboot subscribers, called after each completed reboot
     (fault-campaign trace logging, tests).  Additive: registering never
-    replaces an earlier subscriber; all fire in registration order.  The
+    replaces an earlier subscriber; all fire in registration order.
+    Subscriptions attach to one kernel, so concurrently live kernels
+    (one per farm domain) never observe each other's reboots.  The
     flight recorder ({!Forensics}) does not need a subscription — it is
     notified directly through the rebooting kernel's machine. *)
 
 type sub
 
-val subscribe : (comp:string -> cycle:int -> unit) -> sub
-val unsubscribe : sub -> unit
+val subscribe : Kernel.t -> (comp:string -> cycle:int -> unit) -> sub
+val unsubscribe : Kernel.t -> sub -> unit
 (** Remove a subscriber; unknown/stale handles are ignored. *)
 
 (* Repeat-attack mitigation (§5.1.2): error handlers maintain

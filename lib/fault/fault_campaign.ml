@@ -392,26 +392,32 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
         oc_dumps = dumps;
       }
 
-let run ?(verbose = false) ?steps ~base_seed ~n () =
-  let failures = ref 0 in
+let run ?(verbose = false) ?steps ?(jobs = 1) ~base_seed ~n () =
+  (* Scenarios are independent pure functions of their seed, so they
+     farm across domains; all reporting happens here after the merge, in
+     seed order, making the output byte-identical for every job count. *)
   let outcomes =
-    List.init n (fun i ->
-        let o = run_scenario ?steps ~seed:(base_seed + i) () in
-        if o.oc_violations <> [] then begin
-          incr failures;
-          Printf.printf "seed %d: %d invariant violation(s)\n%!" o.oc_seed
-            (List.length o.oc_violations);
-          List.iter (fun v -> Printf.printf "  - %s\n" v) o.oc_violations;
-          Printf.printf "  fault trace (replay by re-running seed %d):\n"
-            o.oc_seed;
-          List.iter (fun l -> Printf.printf "    %s\n" l) o.oc_trace;
-          flush stdout
-        end
-        else if verbose then
-          Printf.printf
-            "seed %d: ok — %d faults, %d reboots, %d/%d svc calls ok, %d cycles\n%!"
-            o.oc_seed o.oc_faults o.oc_reboots o.oc_svc_ok
-            (o.oc_svc_ok + o.oc_svc_err) o.oc_cycles;
-        o)
+    Farm.map_list ~jobs
+      (fun seed -> run_scenario ?steps ~seed ())
+      (List.init n (fun i -> base_seed + i))
   in
+  let failures = ref 0 in
+  List.iter
+    (fun o ->
+      if o.oc_violations <> [] then begin
+        incr failures;
+        Printf.printf "seed %d: %d invariant violation(s)\n%!" o.oc_seed
+          (List.length o.oc_violations);
+        List.iter (fun v -> Printf.printf "  - %s\n" v) o.oc_violations;
+        Printf.printf "  fault trace (replay by re-running seed %d):\n"
+          o.oc_seed;
+        List.iter (fun l -> Printf.printf "    %s\n" l) o.oc_trace;
+        flush stdout
+      end
+      else if verbose then
+        Printf.printf
+          "seed %d: ok — %d faults, %d reboots, %d/%d svc calls ok, %d cycles\n%!"
+          o.oc_seed o.oc_faults o.oc_reboots o.oc_svc_ok
+          (o.oc_svc_ok + o.oc_svc_err) o.oc_cycles)
+    outcomes;
   (!failures, outcomes)

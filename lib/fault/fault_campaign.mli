@@ -50,10 +50,16 @@ val run_scenario : ?steps:int -> ?trace:Obs.t -> seed:int -> unit -> outcome
 val run :
   ?verbose:bool ->
   ?steps:int ->
+  ?jobs:int ->
   base_seed:int ->
   n:int ->
   unit ->
   int * outcome list
 (** Run seeds [base_seed .. base_seed + n - 1]; returns the number of
     scenarios with violations (0 = campaign passed) and every outcome.
-    Violations are printed with their seed and full fault trace. *)
+    Violations are printed with their seed and full fault trace.
+
+    [jobs] farms scenarios across that many domains ({!Farm.run});
+    outcomes and all printing stay in seed order, so the output is
+    byte-identical for every job count.  Default 1 (sequential, no
+    domain operations). *)

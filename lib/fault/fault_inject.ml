@@ -77,7 +77,10 @@ type t = {
   mutable trace_rev : string list;
   mutable injected : int;
   mutable listener : Machine.listener_handle option;
-  mutable reboot_sub : Microreboot.sub option;
+  mutable reboot_sub : (Kernel.t * Microreboot.sub) option;
+      (** subscription on the wired kernel — per-kernel, so engines in
+          concurrently running simulations never see each other's reboots *)
+  mutable kernel : Kernel.t option;  (** set by [wire_kernel] *)
 }
 
 (* The engine's tick listener is parked except when it has something to
@@ -206,6 +209,7 @@ let create ?(period = 4_000) ?(weights = default_weights) ?(storm_len = 12)
       injected = 0;
       listener = None;
       reboot_sub = None;
+      kernel = None;
     }
   in
   t.listener <-
@@ -246,8 +250,8 @@ let detach t =
   disarm t;
   (match t.reboot_sub with
   | None -> ()
-  | Some s ->
-      Microreboot.unsubscribe s;
+  | Some (k, s) ->
+      Microreboot.unsubscribe k s;
       t.reboot_sub <- None);
   match t.listener with
   | None -> ()
@@ -292,6 +296,7 @@ let wire_netsim t net =
 
 let wire_kernel t kernel ~victims =
   t.victims <- victims;
+  t.kernel <- Some kernel;
   Kernel.set_call_fault_hook kernel
     (Some
        (fun ~comp ~entry ->
@@ -304,14 +309,18 @@ let wire_kernel t kernel ~victims =
 
 let observe_reboots t =
   (match t.reboot_sub with
-  | Some s ->
-      Microreboot.unsubscribe s;
+  | Some (k, s) ->
+      Microreboot.unsubscribe k s;
       t.reboot_sub <- None
   | None -> ());
-  t.reboot_sub <-
-    Some
-      (Microreboot.subscribe (fun ~comp ~cycle ->
-           let s = "micro-reboot completed: " ^ comp in
-           if Machine.tracing t.machine then
-             Machine.emit t.machine (Obs.Fault_note { note = s });
-           t.trace_rev <- Printf.sprintf "[%d] %s" cycle s :: t.trace_rev))
+  match t.kernel with
+  | None -> invalid_arg "observe_reboots: wire_kernel first"
+  | Some k ->
+      t.reboot_sub <-
+        Some
+          ( k,
+            Microreboot.subscribe k (fun ~comp ~cycle ->
+                let s = "micro-reboot completed: " ^ comp in
+                if Machine.tracing t.machine then
+                  Machine.emit t.machine (Obs.Fault_note { note = s });
+                t.trace_rev <- Printf.sprintf "[%d] %s" cycle s :: t.trace_rev) )

@@ -90,4 +90,7 @@ val wire_kernel : t -> Kernel.t -> victims:string list -> unit
     caller sees [Fault_in_callee]). *)
 
 val observe_reboots : t -> unit
-(** Route {!Microreboot} completion events into this engine's trace. *)
+(** Route {!Microreboot} completion events from the kernel passed to
+    {!wire_kernel} into this engine's trace.  Per-kernel: engines in
+    concurrently running simulations never observe each other's reboots.
+    Raises [Invalid_argument] before {!wire_kernel}. *)

@@ -1,12 +1,26 @@
 module Cap = Capability
 
-type segment = { seg_base : int; prog : Isa.program }
+(* Decode-once front-end: each segment lazily materializes an array of
+   pre-decoded slots — the instruction plus its resolved absolute branch
+   target — so the hot loop replaces per-step label hashing and the old
+   one-entry branch cache with a plain array index.  [dec] is built on
+   first execution and belongs to the segment: segments never unmap, and
+   [map_segment] rejects overlap, so a slot's resolved target can never
+   go stale while the segment is mapped. *)
+type dslot = { d_ins : Isa.instr; d_target : int (* -1 = no label operand *) }
+
+type segment = {
+  seg_base : int;
+  prog : Isa.program;
+  mutable dec : dslot array option;
+}
 
 type t = {
   machine : Machine.t;
+  predecode : bool;  (* false = legacy per-step decode (equivalence oracle) *)
   mutable segments : segment list;
   mutable last_seg : segment option;  (* one-entry fetch cache *)
-  mutable br_pc : int;  (* one-entry branch-target cache: pc ... *)
+  mutable br_pc : int;  (* legacy one-entry branch-target cache: pc ... *)
   mutable br_target : int;  (* ... -> resolved absolute target *)
   regs : Cap.t array;
   specials : Cap.t array;
@@ -29,9 +43,10 @@ type outcome = Halted | Exited of Cap.t | Trapped of trap
 
 exception Trap_exn of trap
 
-let create machine =
+let create ?(predecode = true) machine =
   {
     machine;
+    predecode;
     segments = [];
     last_seg = None;
     br_pc = -1;
@@ -42,6 +57,7 @@ let create machine =
   }
 
 let machine t = t.machine
+let predecode t = t.predecode
 
 let seg_end s = s.seg_base + Isa.code_bytes s.prog
 
@@ -52,7 +68,7 @@ let map_segment t ~base prog =
       if base < seg_end s && base + Isa.code_bytes prog > s.seg_base then
         invalid_arg "map_segment: overlap")
     t.segments;
-  t.segments <- { seg_base = base; prog } :: t.segments;
+  t.segments <- { seg_base = base; prog; dec = None } :: t.segments;
   t.last_seg <- None
 
 let segment_base t name =
@@ -111,7 +127,8 @@ let apply_jump_target machine pc target =
 (* Resolve a branch label to an absolute target.  A given pc always
    resolves the same label to the same address (segments never unmap and
    cannot overlap), so a one-entry cache keyed on pc removes the string
-   hash from hot loop back-edges. *)
+   hash from hot loop back-edges.  Only the legacy path uses this; the
+   pre-decoded path carries the resolved target in its slot. *)
 let resolve_label t seg pc label =
   if t.br_pc = pc then t.br_target
   else begin
@@ -120,6 +137,34 @@ let resolve_label t seg pc label =
     t.br_target <- addr;
     addr
   end
+
+(* Materialize the decoded array for a segment: one slot per word, label
+   operands resolved to absolute addresses.  [assemble] already verified
+   that every referenced label exists, so resolution is total. *)
+let materialize seg =
+  match seg.dec with
+  | Some d -> d
+  | None ->
+      let resolve l = seg.seg_base + (4 * Isa.label_index seg.prog l) in
+      let d =
+        Array.init (Isa.length seg.prog) (fun i ->
+            let ins = Isa.instr_at seg.prog i in
+            let tgt =
+              match ins with
+              | Isa.Beq (_, _, l)
+              | Isa.Bne (_, _, l)
+              | Isa.Bltu (_, _, l)
+              | Isa.Bgeu (_, _, l)
+              | Isa.J l
+              | Isa.Cjal (_, l)
+              | Isa.Auipcc (_, l) ->
+                  resolve l
+              | _ -> -1
+            in
+            { d_ins = ins; d_target = tgt })
+      in
+      seg.dec <- Some d;
+      d
 
 let step t pcc =
   let pc = Cap.address pcc in
@@ -274,6 +319,206 @@ let step t pcc =
       `Next next
   | Isa.Trapif cause -> trap pc (Software cause)
 
+(* The pre-decoded execution engine.  Within one "epoch" — the stretch
+   between control transfers that change pcc — the tag, seal and Execute
+   checks of the per-step [check_access] cannot change (the pcc only
+   moves its cursor), so the per-instruction guard reduces to two range
+   compares: is the pc still inside the current segment, and inside the
+   pcc's bounds?  On either miss the engine falls back to the exact
+   legacy checks so fault causes, ordering and PCs stay bit-identical.
+   The pc is threaded as a plain int; a capability is only materialized
+   where the legacy path observed one (links, Auipcc, jumps). *)
+let run_fast t fuel pcc0 seg0 =
+  let m = t.machine in
+  let rec epoch pcc seg pc budget =
+    let dec = materialize seg in
+    let sbase = seg.seg_base and send = seg_end seg in
+    let clo = Cap.base pcc and chi = Cap.top pcc in
+    let rec go pc budget =
+      if budget <= 0 then
+        Trapped { tcause = Software "out of fuel"; tpc = pc }
+      else if pc < sbase || pc >= send then
+        (* Fell off the segment (or branched out of it): mirror the
+           legacy per-step order — segment lookup first, pcc bounds
+           second (both checked again on epoch re-entry). *)
+        match find_segment t pc with
+        | None -> trap pc (Cap_fault Cap.Bounds_violation)
+        | Some s' -> epoch pcc s' pc budget
+      else if pc < clo || pc + 4 > chi then begin
+        (match Cap.check_access ~perm:Perm.Execute ~addr:pc ~size:4 pcc with
+        | Ok () -> ()
+        | Error v -> trap pc (Cap_fault v));
+        exec pc budget
+      end
+      else exec pc budget
+    and exec pc budget =
+      let slot = Array.unsafe_get dec ((pc - sbase) lsr 2) in
+      Machine.tick m Cost.instr;
+      t.instret <- t.instret + 1;
+      if t.instret land 1023 = 0 && Machine.tracing m then
+        Machine.emit m (Obs.Instr_sample { instret = t.instret });
+      match slot.d_ins with
+      | Isa.Halt -> Halted
+      | Isa.Li (rd, v) ->
+          set t rd (int_value v);
+          go (pc + 4) (budget - 1)
+      | Isa.Mv (rd, rs) ->
+          set t rd (get t rs);
+          go (pc + 4) (budget - 1)
+      | Isa.Addi (rd, rs, v) ->
+          set t rd (int_value (to_int (get t rs) + v));
+          go (pc + 4) (budget - 1)
+      | Isa.Add (rd, a, b) ->
+          set t rd (int_value (to_int (get t a) + to_int (get t b)));
+          go (pc + 4) (budget - 1)
+      | Isa.Sub (rd, a, b) ->
+          set t rd (int_value (to_int (get t a) - to_int (get t b)));
+          go (pc + 4) (budget - 1)
+      | Isa.Andi (rd, rs, v) ->
+          set t rd (int_value (to_int (get t rs) land v));
+          go (pc + 4) (budget - 1)
+      | Isa.Beq (a, b, _) ->
+          go
+            (if to_int (get t a) = to_int (get t b) then slot.d_target
+             else pc + 4)
+            (budget - 1)
+      | Isa.Bne (a, b, _) ->
+          go
+            (if to_int (get t a) <> to_int (get t b) then slot.d_target
+             else pc + 4)
+            (budget - 1)
+      | Isa.Bltu (a, b, _) ->
+          go
+            (if to_int (get t a) < to_int (get t b) then slot.d_target
+             else pc + 4)
+            (budget - 1)
+      | Isa.Bgeu (a, b, _) ->
+          go
+            (if to_int (get t a) >= to_int (get t b) then slot.d_target
+             else pc + 4)
+            (budget - 1)
+      | Isa.J _ -> go slot.d_target (budget - 1)
+      | Isa.Lw (rd, imm, rs) ->
+          let auth = get t rs in
+          let v = Machine.load m ~auth ~addr:(Cap.address auth + imm) ~size:4 in
+          set t rd (int_value v);
+          go (pc + 4) (budget - 1)
+      | Isa.Sw (rs2, imm, rs1) ->
+          let auth = get t rs1 in
+          Machine.store m ~auth ~addr:(Cap.address auth + imm) ~size:4
+            (to_int (get t rs2));
+          go (pc + 4) (budget - 1)
+      | Isa.Clc (rd, imm, rs) ->
+          let auth = get t rs in
+          set t rd (Machine.load_cap m ~auth ~addr:(Cap.address auth + imm));
+          go (pc + 4) (budget - 1)
+      | Isa.Csc (rs2, imm, rs1) ->
+          let auth = get t rs1 in
+          Machine.store_cap m ~auth ~addr:(Cap.address auth + imm) (get t rs2);
+          go (pc + 4) (budget - 1)
+      | Isa.Cincaddr (rd, a, b) ->
+          set t rd
+            (cap_result pc (Cap.incr_address (get t a) (to_int (get t b))));
+          go (pc + 4) (budget - 1)
+      | Isa.Cincaddrimm (rd, a, v) ->
+          set t rd (cap_result pc (Cap.incr_address (get t a) v));
+          go (pc + 4) (budget - 1)
+      | Isa.Csetaddr (rd, a, b) ->
+          set t rd
+            (cap_result pc (Cap.with_address (get t a) (to_int (get t b))));
+          go (pc + 4) (budget - 1)
+      | Isa.Csetbounds (rd, a, b) ->
+          set t rd
+            (cap_result pc (Cap.set_bounds (get t a) ~length:(to_int (get t b))));
+          go (pc + 4) (budget - 1)
+      | Isa.Csetboundsimm (rd, a, v) ->
+          set t rd (cap_result pc (Cap.set_bounds (get t a) ~length:v));
+          go (pc + 4) (budget - 1)
+      | Isa.Candperm (rd, a, mask) ->
+          set t rd
+            (cap_result pc (Cap.and_perms (get t a) (Perm.Set.of_bits mask)));
+          go (pc + 4) (budget - 1)
+      | Isa.Cgetaddr (rd, a) ->
+          set t rd (int_value (Cap.address (get t a)));
+          go (pc + 4) (budget - 1)
+      | Isa.Cgetbase (rd, a) ->
+          set t rd (int_value (Cap.base (get t a)));
+          go (pc + 4) (budget - 1)
+      | Isa.Cgetlen (rd, a) ->
+          set t rd (int_value (Cap.length (get t a)));
+          go (pc + 4) (budget - 1)
+      | Isa.Cgettag (rd, a) ->
+          set t rd (int_value (if Cap.tag (get t a) then 1 else 0));
+          go (pc + 4) (budget - 1)
+      | Isa.Cgettype (rd, a) ->
+          let module O = Cap.Otype in
+          let v =
+            match Cap.otype (get t a) with
+            | O.Unsealed -> 0
+            | O.Sentry O.Call_inherit -> 1
+            | O.Sentry O.Call_disable -> 2
+            | O.Sentry O.Call_enable -> 3
+            | O.Sentry O.Return_disable -> 4
+            | O.Sentry O.Return_enable -> 5
+            | O.Data d -> d
+          in
+          set t rd (int_value v);
+          go (pc + 4) (budget - 1)
+      | Isa.Cgetperm (rd, a) ->
+          set t rd (int_value (Perm.Set.to_bits (Cap.perms (get t a))));
+          go (pc + 4) (budget - 1)
+      | Isa.Cseal (rd, a, k) ->
+          set t rd (cap_result pc (Cap.seal ~key:(get t k) (get t a)));
+          go (pc + 4) (budget - 1)
+      | Isa.Cunseal (rd, a, k) ->
+          set t rd (cap_result pc (Cap.unseal ~key:(get t k) (get t a)));
+          go (pc + 4) (budget - 1)
+      | Isa.Csealentry (rd, a, kind) ->
+          set t rd (cap_result pc (Cap.seal_entry (get t a) kind));
+          go (pc + 4) (budget - 1)
+      | Isa.Auipcc (rd, _) ->
+          set t rd (cap_result pc (Cap.with_address pcc slot.d_target));
+          go (pc + 4) (budget - 1)
+      | Isa.Cjalr (rd, rs) ->
+          let target = get t rs in
+          let unsealed, back_kind = apply_jump_target m pc target in
+          if rd <> 0 then begin
+            let link =
+              Cap.exn
+                (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) back_kind)
+            in
+            set t rd link
+          end;
+          let pc' = Cap.address unsealed in
+          (match find_segment t pc' with
+          | None -> Exited unsealed
+          | Some s' -> epoch unsealed s' pc' (budget - 1))
+      | Isa.Cjal (rd, _) ->
+          if rd <> 0 then begin
+            let kind =
+              if Machine.irq_enabled m then Cap.Otype.Return_enable
+              else Cap.Otype.Return_disable
+            in
+            set t rd
+              (Cap.exn (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) kind))
+          end;
+          go slot.d_target (budget - 1)
+      | Isa.Cspecialrw (rd, idx, rs) ->
+          if not (Cap.has_perm Perm.System_registers pcc) then
+            trap pc (Cap_fault (Cap.Permit_violation Perm.System_registers));
+          let old = t.specials.(idx) in
+          if rs <> 0 then t.specials.(idx) <- get t rs;
+          set t rd old;
+          go (pc + 4) (budget - 1)
+      | Isa.Ccleartag (rd, a) ->
+          set t rd (Cap.clear_tag (get t a));
+          go (pc + 4) (budget - 1)
+      | Isa.Trapif cause -> trap pc (Software cause)
+    in
+    go pc budget
+  in
+  epoch pcc0 seg0 (Cap.address pcc0) fuel
+
 let run ?(fuel = 1_000_000) t target =
   let rec loop pcc budget =
     if budget <= 0 then
@@ -291,7 +536,8 @@ let run ?(fuel = 1_000_000) t target =
     let unsealed, _ = apply_jump_target t.machine (Cap.address target) target in
     match find_segment t (Cap.address unsealed) with
     | None -> Exited unsealed
-    | Some _ -> loop unsealed fuel
+    | Some seg ->
+        if t.predecode then run_fast t fuel unsealed seg else loop unsealed fuel
   with
   | Trap_exn tr -> Trapped tr
   | Memory.Fault f ->

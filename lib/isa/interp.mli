@@ -13,8 +13,19 @@
 
 type t
 
-val create : Machine.t -> t
+val create : ?predecode:bool -> Machine.t -> t
+(** [predecode] (default [true]) selects the decode-once front-end: each
+    segment lazily materializes an array of pre-decoded instructions with
+    branch labels resolved to absolute targets, and execution threads a
+    plain integer PC between control transfers.  [~predecode:false] keeps
+    the original per-step fetch/decode path; both are observationally
+    identical (registers, cycles, traps, trace events) and the equivalence
+    is pinned by the [test_interp_equiv] QCheck suite. *)
+
 val machine : t -> Machine.t
+
+val predecode : t -> bool
+(** Whether this interpreter uses the pre-decoded front-end. *)
 
 val map_segment : t -> base:int -> Isa.program -> unit
 (** Map a program at [base] (4 bytes per instruction).  Overlap is a

@@ -356,6 +356,9 @@ module Tls = struct
     mutable key : Kernel.value;
     sessions : (int, session) Hashtbl.t;
     mutable next_id : int;
+    handshake_cycles : int;
+        (** per-stack modelled key-agreement cost, so concurrently live
+            simulations can use different profiles *)
   }
 
   let get_key t ctx =
@@ -411,8 +414,11 @@ module Tls = struct
     in
     loop ()
 
-  let install kernel =
-    let t = { kernel; key = Cap.null; sessions = Hashtbl.create 8; next_id = 1 } in
+  let install ?(handshake_cycles = Tls_lite.default_handshake_cycles) kernel =
+    let t =
+      { kernel; key = Cap.null; sessions = Hashtbl.create 8; next_id = 1;
+        handshake_cycles }
+    in
     let machine = Kernel.machine kernel in
     let e name f = Kernel.implement1 kernel ~comp:comp_name ~entry:name f in
     Kernel.set_error_handler kernel ~comp:comp_name (fun _ctx _fi -> `Unwind);
@@ -439,7 +445,7 @@ module Tls = struct
                     burn (n - 1_000_000)
                   end
                 in
-                burn !Tls_lite.handshake_cycles;
+                burn t.handshake_cycles;
                 let secret = 13577 + t.next_id in
                 let nonce = 0xc11e47 + t.next_id in
                 let hello = Tls_lite.client_hello ~nonce ~secret in
@@ -736,13 +742,13 @@ let manager_thread =
   Firmware.thread ~name:"net_rx" ~comp:"netapi" ~entry:"rx_loop" ~priority:2
     ~stack_size:4096 ~trusted_stack_frames:24 ()
 
-let install kernel =
+let install ?handshake_cycles kernel =
   {
     firewall = Firewall.install kernel;
     tcpip = Tcpip.install kernel;
     netapi = Netapi.install kernel;
     dns = Dns.install kernel;
     sntp = Sntp.install kernel;
-    tls = Tls.install kernel;
+    tls = Tls.install ?handshake_cycles kernel;
     mqtt = Mqtt.install kernel;
   }

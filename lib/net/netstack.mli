@@ -48,15 +48,15 @@ module Sntp : sig
 end
 
 (** The TLS compartment (BearSSL's role): opaque session handles over
-    NetAPI sockets; charges the modelled handshake cost
-    ({!Tls_lite.handshake_cycles}). *)
+    NetAPI sockets; charges the modelled handshake cost (default
+    {!Tls_lite.default_handshake_cycles}, overridable per stack). *)
 module Tls : sig
   val comp_name : string
   val firmware_compartment : unit -> Firmware.compartment
 
   type t
 
-  val install : Kernel.t -> t
+  val install : ?handshake_cycles:int -> Kernel.t -> t
   val imports : string list
   val client_imports : Firmware.import list
 end
@@ -92,4 +92,7 @@ val sealed_objects : Firmware.static_sealed list
 val manager_thread : Firmware.thread
 (** The "net_rx" thread running [netapi.rx_loop]. *)
 
-val install : Kernel.t -> t
+val install : ?handshake_cycles:int -> Kernel.t -> t
+(** Install every stack compartment on the kernel.  [handshake_cycles]
+    overrides the TLS key-agreement cost for this stack only (scenario
+    profiles); other kernels' stacks are unaffected. *)

@@ -51,10 +51,6 @@ let firmware_compartment () =
 
 let quota_object = Allocator.alloc_capability ~name:quota_name ~quota:6144
 
-(* Modelled micro-reboot latency (the Fig. 7 profile sets the paper's
-   0.27 s figure; unit tests keep it small). *)
-let reboot_cycles = Microreboot.reboot_cycles
-
 type tcp_state = Tcp_closed | Syn_sent | Established | Peer_closed
 
 type sock = {

@@ -25,9 +25,6 @@ val firmware_compartment : unit -> Firmware.compartment
 val quota_object : Firmware.static_sealed
 (** The stack's own allocation capability ("net_quota", 6 KiB). *)
 
-val reboot_cycles : int ref
-(** Alias of {!Microreboot.reboot_cycles}. *)
-
 type t
 
 val install : Kernel.t -> t

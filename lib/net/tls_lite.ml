@@ -2,7 +2,7 @@
 let p = 0x7fffffff
 let g = 7
 
-let handshake_cycles = ref 9_000_000
+let default_handshake_cycles = 9_000_000
 let per_byte_cycles = 18
 
 let modexp base e =

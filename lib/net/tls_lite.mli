@@ -7,16 +7,18 @@
     to exercise the same compartment boundaries, state machines and CPU
     cost profile as the paper's TLS compartment, not to be secure.
 
-    The device-side compartment charges {!handshake_cycles} for the key
-    agreement (no crypto accelerator: the dominant cost in Fig. 7's
-    App. Setup phase) and {!per_byte_cycles} per record byte. *)
+    The device-side compartment charges {!default_handshake_cycles} for
+    the key agreement (no crypto accelerator: the dominant cost in
+    Fig. 7's App. Setup phase) and {!per_byte_cycles} per record byte. *)
 
 type conn
 
-val handshake_cycles : int ref
-(** Modelled cost of the modular exponentiations at 33 MHz.  Mutable so
-    scenario profiles can use the paper-realistic figure (~10 s of
-    33 MHz crypto without an accelerator) while unit tests stay fast. *)
+val default_handshake_cycles : int
+(** Default modelled cost of the modular exponentiations at 33 MHz.  The
+    live value is per-netstack ([Netstack.install ?handshake_cycles]) so
+    scenario profiles can use the paper-realistic figure (~10 s of 33 MHz
+    crypto without an accelerator) while concurrently running unit-test
+    simulations stay fast. *)
 
 val per_byte_cycles : int
 (** Modelled symmetric crypto cost per payload byte. *)

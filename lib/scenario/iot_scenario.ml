@@ -115,8 +115,6 @@ let firmware () =
 
 let run ?(fast = false) ?machine () =
   let p = if fast then fast_profile else slow_profile in
-  Tls_lite.handshake_cycles := p.p_handshake;
-  Microreboot.reboot_cycles := p.p_reboot;
   let machine = match machine with Some m -> m | None -> Machine.create () in
   Machine.add_device machine ~base:0x1000_0000 ~size:16
     (Machine.Device.ram ~name:"led" ~size:16);
@@ -124,8 +122,11 @@ let run ?(fast = false) ?machine () =
   Netsim.add_dns_record net "backend.example.com" Netsim.broker_ip;
   Netsim.set_wallclock net 1_750_000_000;
   let sys = Result.get_ok (System.boot ~machine (firmware ())) in
-  let stack = Netstack.install sys.System.kernel in
   let k = sys.System.kernel in
+  (* Profile costs are per-kernel/per-stack state, never module-level
+     (parallel campaigns run many scenarios at once). *)
+  Kernel.set_reboot_cycles k p.p_reboot;
+  let stack = Netstack.install ~handshake_cycles:p.p_handshake k in
   let pool = Thread_pool.install k in
   ignore pool;
   (* Scenario bookkeeping *)
@@ -287,7 +288,7 @@ let run ?(fast = false) ?machine () =
     phases =
       List.rev_map (fun (n, c) -> (n, Machine.seconds_of_cycles c)) !phases;
     reboots = Tcpip.reboot_count stack.Netstack.tcpip;
-    reboot_duration_s = Machine.seconds_of_cycles !Tcpip.reboot_cycles;
+    reboot_duration_s = Machine.seconds_of_cycles (Kernel.reboot_cycles k);
     blinks = !blinks;
     total_s = Machine.seconds_of_cycles total_c;
     avg_load =

@@ -45,16 +45,18 @@ let client_imports =
     imports
 
 (* The compartment's own virtual sealing key, created lazily on first
-   use (token_key_new is a one-off, Table 3). *)
-let state_key : Kernel.value option ref = ref None
+   use (token_key_new is a one-off, Table 3).  Stored on the kernel so
+   concurrently live kernels each mint their own key. *)
+let key_name = "queue.state_key"
 
 let get_key ctx =
-  match !state_key with
+  let kernel = ctx.Kernel.kernel in
+  match Kernel.service_key kernel key_name with
   | Some k -> k
   | None -> (
       match Allocator.token_key_new ctx with
       | Ok k ->
-          state_key := Some k;
+          Kernel.set_service_key kernel key_name k;
           k
       | Error _ -> Cap.null)
 
@@ -135,7 +137,7 @@ let encode_unit = function
   | Error e -> (Interp.int_value (err_code e), Cap.null)
 
 let install kernel =
-  state_key := None;
+  Kernel.clear_service_key kernel key_name;
   let ti = Interp.to_int in
   Kernel.implement kernel ~comp:comp_name ~entry:"create" (fun ctx args ->
       encode (do_create ctx args.(0) (ti args.(1)) (ti args.(2))));

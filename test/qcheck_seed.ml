@@ -1,17 +1,28 @@
 (* Shared seeding for the property-test suites: every QCheck test draws
    from an explicit [Random.State] built from one seed, so runs are
    reproducible by default and any failure prints the seed to re-run
-   with [QCHECK_SEED=<seed> dune runtest]. *)
+   with [QCHECK_SEED=<seed> dune runtest].
+
+   Each test derives its own independent state from (seed, test name)
+   rather than sharing one stream: the draws a test sees then depend
+   only on the seed and its name — not on which other tests ran, in what
+   order, or on which domain — so results are identical whether suites
+   run sequentially or farmed in parallel. *)
 
 let seed =
   match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
   | Some n -> n
   | None -> 0xc4e71057
 
-let rand () = Random.State.make [| seed |]
+let rand_for name = Random.State.make [| seed; Hashtbl.hash name |]
 
 let to_alcotest test =
-  let name, speed, run = QCheck_alcotest.to_alcotest ~rand:(rand ()) test in
+  let test_name =
+    match test with QCheck2.Test.Test cell -> QCheck2.Test.get_name cell
+  in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(rand_for test_name) test
+  in
   ( name,
     speed,
     fun () ->

@@ -149,13 +149,14 @@ let firmware () =
 
 (* Boot, crash the service once at the call boundary, micro-reboot it,
    and return the machine's flight recorder. *)
-let run_crash () =
+let run_crash ?(setup = fun (_ : Kernel.t) -> ()) () =
   let machine = Machine.create () in
   Machine.set_trace machine (Some (Obs.create ()));
   let frn = Forensics.create () in
   Machine.set_forensics machine (Some frn);
   let sys = Result.get_ok (System.boot ~machine (firmware ())) in
   let k = sys.System.kernel in
+  setup k;
   Kernel.snapshot_globals k ~comp:"svc";
   Kernel.implement1 k ~comp:"svc" ~entry:"work" (fun _ _ ->
       Interp.int_value 1);
@@ -211,22 +212,35 @@ let test_crash_dump_fields () =
 
 let test_microreboot_subscribers () =
   let fired_a = ref 0 and fired_b = ref 0 and seen = ref [] in
-  let sa =
-    Microreboot.subscribe (fun ~comp ~cycle:_ ->
-        incr fired_a;
-        seen := comp :: !seen)
-  in
-  let sb = Microreboot.subscribe (fun ~comp:_ ~cycle:_ -> incr fired_b) in
-  ignore (run_crash ());
+  (* Two subscribers on one kernel: registration is additive, both fire
+     in order. *)
+  ignore
+    (run_crash
+       ~setup:(fun k ->
+         ignore
+           (Microreboot.subscribe k (fun ~comp ~cycle:_ ->
+                incr fired_a;
+                seen := comp :: !seen));
+         ignore
+           (Microreboot.subscribe k (fun ~comp:_ ~cycle:_ -> incr fired_b)))
+       ());
   Alcotest.(check int) "first subscriber fired" 1 !fired_a;
   Alcotest.(check int) "second subscriber fired too" 1 !fired_b;
   Alcotest.(check (list string)) "right compartment" [ "svc" ] !seen;
-  (* unsubscribing one must not detach the other *)
-  Microreboot.unsubscribe sa;
-  ignore (run_crash ());
+  (* Unsubscribing one must not detach the other — and subscriptions are
+     per-kernel, so a's counter cannot move on this second kernel. *)
+  ignore
+    (run_crash
+       ~setup:(fun k ->
+         let sa =
+           Microreboot.subscribe k (fun ~comp:_ ~cycle:_ -> incr fired_a)
+         in
+         ignore
+           (Microreboot.subscribe k (fun ~comp:_ ~cycle:_ -> incr fired_b));
+         Microreboot.unsubscribe k sa)
+       ());
   Alcotest.(check int) "unsubscribed stays quiet" 1 !fired_a;
-  Alcotest.(check int) "survivor still fires" 2 !fired_b;
-  Microreboot.unsubscribe sb
+  Alcotest.(check int) "survivor still fires" 2 !fired_b
 
 (* -------------------------------------------------------------------- *)
 (* JSON escaping: hostile strings survive the Chrome exporter and the

@@ -1,0 +1,240 @@
+(* Equivalence lockdown for the decode-once interpreter front-end: on
+   randomized programs, the pre-decoded engine and the legacy per-step
+   fetch/decode path must agree on everything observable — final
+   registers, instructions retired, simulated cycles, outcome (including
+   trap cause and faulting PC) and the emitted trace event stream.  The
+   golden-cycles files pin the real workloads; this suite explores the
+   weird corners (bound-edge branches, traps mid-loop, fuel exhaustion,
+   sentry jumps) the workloads never reach. *)
+
+module Cap = Capability
+
+let code_base = 0x4000_0000
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Registers 1..5 are scratch integers, 6 is a data capability over
+   SRAM, 7 a deliberately narrow data capability, 8 a sentry back to the
+   code segment.  Branch targets come from a fixed label pool placed at
+   random positions, so [Isa.assemble] always validates. *)
+
+let n_labels = 4
+
+let gen_instr rng labels =
+  let reg () = 1 + Random.State.int rng 5 in
+  let label () = List.nth labels (Random.State.int rng (List.length labels)) in
+  let small () = Random.State.int rng 64 - 8 in
+  match Random.State.int rng 100 with
+  | n when n < 10 -> Isa.Li (reg (), Random.State.int rng 1000)
+  | n when n < 18 -> Isa.Addi (reg (), reg (), small ())
+  | n when n < 24 -> Isa.Add (reg (), reg (), reg ())
+  | n when n < 28 -> Isa.Sub (reg (), reg (), reg ())
+  | n when n < 32 -> Isa.Andi (reg (), reg (), Random.State.int rng 255)
+  | n when n < 36 -> Isa.Mv (reg (), reg ())
+  | n when n < 44 -> Isa.Beq (reg (), reg (), label ())
+  | n when n < 50 -> Isa.Bne (reg (), reg (), label ())
+  | n when n < 54 -> Isa.Bltu (reg (), reg (), label ())
+  | n when n < 58 -> Isa.Bgeu (reg (), reg (), label ())
+  | n when n < 62 -> Isa.J (label ())
+  | n when n < 68 ->
+      (* mostly in-bounds loads/stores through r6; r7 is narrow, so the
+         same offsets exercise the capability-fault path *)
+      let auth = if Random.State.int rng 4 = 0 then 7 else 6 in
+      Isa.Lw (reg (), 4 * Random.State.int rng 40, auth)
+  | n when n < 74 ->
+      let auth = if Random.State.int rng 4 = 0 then 7 else 6 in
+      Isa.Sw (reg (), 4 * Random.State.int rng 40, auth)
+  | n when n < 78 -> Isa.Cincaddrimm (reg (), 6, small ())
+  | n when n < 81 -> Isa.Csetboundsimm (reg (), 6, Random.State.int rng 128)
+  | n when n < 84 -> Isa.Cgetaddr (reg (), 6)
+  | n when n < 86 -> Isa.Cgetlen (reg (), 7)
+  | n when n < 88 -> Isa.Cgettag (reg (), reg ())
+  | n when n < 90 -> Isa.Cgetperm (reg (), 6)
+  | n when n < 92 -> Isa.Ccleartag (reg (), reg ())
+  | n when n < 94 -> Isa.Cjal (reg (), label ())
+  | n when n < 96 -> Isa.Auipcc (reg (), label ())
+  | n when n < 97 -> Isa.Cjalr (reg (), 8)
+  | n when n < 98 -> Isa.Trapif "generated"
+  | _ -> Isa.Halt
+
+let gen_program rng =
+  let len = 8 + Random.State.int rng 32 in
+  let labels = List.init n_labels (fun i -> Printf.sprintf "L%d" i) in
+  (* Each label lands at a random instruction index. *)
+  let label_at = Array.make len [] in
+  List.iter
+    (fun l ->
+      let i = Random.State.int rng len in
+      label_at.(i) <- l :: label_at.(i))
+    labels;
+  let items = ref [] in
+  for i = len - 1 downto 0 do
+    items := Isa.I (gen_instr rng labels) :: !items;
+    List.iter (fun l -> items := Isa.L l :: !items) label_at.(i)
+  done;
+  (* Halt backstop so straight-line fall-through off the end (a legal
+     Bounds trap) isn't the only way out. *)
+  Isa.assemble ~name:"equiv" (!items @ [ Isa.I Isa.Halt ])
+
+(* ------------------------------------------------------------------ *)
+(* One run under either front-end                                     *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  s_outcome : string;
+  s_instret : int;
+  s_cycles : int;
+  s_regs : string list;
+  s_events : string list;
+}
+
+let outcome_to_string = function
+  | Interp.Halted -> "halted"
+  | Interp.Exited c -> "exited " ^ Cap.to_string c
+  | Interp.Trapped tr -> Fmt.str "%a" Interp.pp_trap tr
+
+let run_one ~predecode ~fuel prog =
+  let machine = Machine.create () in
+  let obs = Obs.create () in
+  Machine.set_trace machine (Some obs);
+  let interp = Interp.create ~predecode machine in
+  Interp.map_segment interp ~base:code_base prog;
+  let sram = Machine.sram_base machine in
+  (Interp.regs interp).(6) <-
+    Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+  (Interp.regs interp).(7) <-
+    Cap.make_root ~base:(sram + 64) ~top:(sram + 96) ~perms:Perm.Set.read_write;
+  let pcc =
+    Cap.make_root ~base:code_base
+      ~top:(code_base + Isa.code_bytes prog)
+      ~perms:Perm.Set.executable
+  in
+  let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
+  (Interp.regs interp).(8) <- entry;
+  let outcome = Interp.run ~fuel interp entry in
+  {
+    s_outcome = outcome_to_string outcome;
+    s_instret = Interp.instret interp;
+    s_cycles = Machine.cycles machine;
+    s_regs = Array.to_list (Array.map Cap.to_string (Interp.regs interp));
+    s_events = List.map (Fmt.str "%a" Obs.pp_event) (Obs.events obs);
+  }
+
+let check_equiv ?(fuel = 2_000) prog =
+  let fast = run_one ~predecode:true ~fuel prog in
+  let slow = run_one ~predecode:false ~fuel prog in
+  let same l = String.concat "; " l in
+  if fast.s_outcome <> slow.s_outcome then
+    QCheck.Test.fail_reportf "outcome: %s vs %s" fast.s_outcome slow.s_outcome;
+  if fast.s_instret <> slow.s_instret then
+    QCheck.Test.fail_reportf "instret: %d vs %d" fast.s_instret slow.s_instret;
+  if fast.s_cycles <> slow.s_cycles then
+    QCheck.Test.fail_reportf "cycles: %d vs %d" fast.s_cycles slow.s_cycles;
+  if fast.s_regs <> slow.s_regs then
+    QCheck.Test.fail_reportf "registers:@.%s@.vs@.%s" (same fast.s_regs)
+      (same slow.s_regs);
+  if fast.s_events <> slow.s_events then
+    QCheck.Test.fail_reportf "trace events:@.%s@.vs@.%s" (same fast.s_events)
+      (same slow.s_events);
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 0x3fffffff)
+
+let prop_random_programs =
+  QCheck.Test.make ~name:"pre-decoded == legacy on random programs" ~count:300
+    seed_gen
+    (fun s ->
+      let rng = Random.State.make [| s; 0x5eed |] in
+      check_equiv (gen_program rng))
+
+let prop_fuel_exhaustion =
+  QCheck.Test.make ~name:"pre-decoded == legacy at every fuel level" ~count:100
+    (QCheck.pair seed_gen QCheck.(int_range 1 60))
+    (fun (s, fuel) ->
+      let rng = Random.State.make [| s; 0xf0e1 |] in
+      check_equiv ~fuel (gen_program rng))
+
+(* Hand-built corners the generator only rarely hits. *)
+
+let test_bounds_fall_through () =
+  (* Straight-line code running off the end of its segment must trap
+     Bounds at the first address past it, identically in both engines. *)
+  let prog =
+    Isa.assemble ~name:"fall" [ Isa.I (Isa.Li (1, 1)); Isa.I (Isa.Li (2, 2)) ]
+  in
+  ignore (check_equiv prog)
+
+let test_narrow_pcc () =
+  (* A pcc narrower than the segment: the fast path's in-segment check
+     passes but the pcc bounds check must still fire, with the same
+     violation the legacy path reports. *)
+  let prog =
+    Isa.assemble ~name:"narrow"
+      [
+        Isa.I (Isa.Li (1, 1));
+        Isa.I (Isa.Li (2, 2));
+        Isa.I (Isa.Li (3, 3));
+        Isa.I Isa.Halt;
+      ]
+  in
+  let run predecode =
+    let machine = Machine.create () in
+    let interp = Interp.create ~predecode machine in
+    Interp.map_segment interp ~base:code_base prog;
+    let pcc =
+      Cap.make_root ~base:code_base ~top:(code_base + 8)
+        ~perms:Perm.Set.executable
+    in
+    let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
+    (outcome_to_string (Interp.run ~fuel:100 interp entry),
+     Interp.instret interp, Machine.cycles machine)
+  in
+  Alcotest.(check (triple string int int))
+    "narrow pcc agrees" (run false) (run true)
+
+let test_jump_out_exits () =
+  (* Cjalr to an address outside every segment leaves the interpreter
+     (the kernel's native-trampoline convention). *)
+  let prog =
+    Isa.assemble ~name:"exit" [ Isa.I (Isa.Cjalr (1, 8)); Isa.I Isa.Halt ]
+  in
+  let run predecode =
+    let machine = Machine.create () in
+    let interp = Interp.create ~predecode machine in
+    Interp.map_segment interp ~base:code_base prog;
+    let sram = Machine.sram_base machine in
+    let away =
+      Cap.make_root ~base:sram ~top:(sram + 64) ~perms:Perm.Set.executable
+    in
+    (Interp.regs interp).(8) <-
+      Cap.exn (Cap.seal_entry away Cap.Otype.Call_inherit);
+    let pcc =
+      Cap.make_root ~base:code_base
+        ~top:(code_base + Isa.code_bytes prog)
+        ~perms:Perm.Set.executable
+    in
+    let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
+    (outcome_to_string (Interp.run ~fuel:100 interp entry),
+     Interp.instret interp)
+  in
+  Alcotest.(check (pair string int)) "exit agrees" (run false) (run true)
+
+let () =
+  Alcotest.run "cheriot_interp_equiv"
+    [
+      ( "equiv",
+        [
+          Qcheck_seed.to_alcotest prop_random_programs;
+          Qcheck_seed.to_alcotest prop_fuel_exhaustion;
+          Alcotest.test_case "bounds fall-through" `Quick
+            test_bounds_fall_through;
+          Alcotest.test_case "narrow pcc" `Quick test_narrow_pcc;
+          Alcotest.test_case "jump out exits" `Quick test_jump_out_exits;
+        ] );
+    ]
