@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-seeds report-smoke ci campaign campaign-par bench perf clean
+.PHONY: all build test test-seeds report-smoke replay-smoke ci campaign campaign-par bench perf clean
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 # (the suites read QCHECK_SEED; a failure prints the seed to replay).
 SEEDS ?= 1 7 42 1234 987654321
 PROP_TESTS = test_cap_props test_alloc_props test_mem_props test_obs_props \
-	test_forensics test_interp_equiv
+	test_forensics test_interp_equiv test_snapshot_equiv
 
 test-seeds: build
 	@for s in $(SEEDS); do \
@@ -35,7 +35,18 @@ report-smoke: build
 	dune exec bench/main.exe -- crashdump 7 >/dev/null
 	@echo "report-smoke: report matches golden, crashdump replays"
 
-ci: build test test-seeds report-smoke campaign-par perf
+# Record-replay smoke: journal a campaign scenario's input stream,
+# re-run it under bit-exact verification, and diff the journal against
+# the committed golden (any drift in IRQ timing, frame delivery or
+# fault-injection order fails; regenerate the golden with the same
+# record command after a deliberate model change).
+replay-smoke: build
+	@dune exec bench/main.exe -- replay record 7 _build/replay7.journal >/dev/null
+	@dune exec bench/main.exe -- replay verify 7 _build/replay7.journal
+	@diff test/golden_campaign7.journal _build/replay7.journal
+	@echo "replay-smoke: journal verified and matches golden"
+
+ci: build test test-seeds report-smoke replay-smoke campaign-par perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 # Farmed across all cores by default; --jobs 1 forces the sequential path.

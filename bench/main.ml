@@ -602,12 +602,14 @@ let bechamel_tests () =
 (* Long-mode fault-injection campaign (the quick 8-scenario version
    runs under `dune runtest`): 200 seeded scenarios by default,
    FAULT_CAMPAIGN_ITERS overrides, any failing seed replays exactly. *)
-let campaign ?(jobs = 1) () =
+let campaign ?(jobs = 1) ?(from_snapshot = false) () =
   let n = Fault_campaign.iters ~default:200 in
   section
     (Fmt.str "Fault-injection campaign (%d scenarios, seeds 1..%d)" n n);
   let t0 = Unix.gettimeofday () in
-  let failures, outcomes = Fault_campaign.run ~jobs ~base_seed:1 ~n () in
+  let failures, outcomes =
+    Fault_campaign.run ~jobs ~from_snapshot ~base_seed:1 ~n ()
+  in
   let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
   Fmt.pr "  scenarios              %10d@." (List.length outcomes);
   Fmt.pr "  faults injected        %10d@."
@@ -622,12 +624,14 @@ let campaign ?(jobs = 1) () =
   Fmt.pr "  invariant violations   %10d@." failures;
   (* Wall clock goes to stderr: stdout must be byte-identical for every
      --jobs value (the campaign-par smoke target diffs it). *)
-  Fmt.epr "campaign: %d jobs, wall clock %.1f s@." jobs
+  Fmt.epr "campaign: %d jobs%s, wall clock %.1f s@." jobs
+    (if from_snapshot then ", forked from snapshot" else "")
     (Unix.gettimeofday () -. t0);
   if failures > 0 then exit 1
 
 let campaign_cmd args =
   let jobs = ref (Farm.default_jobs ()) in
+  let from_snapshot = ref false in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: v :: rest -> (
@@ -638,12 +642,15 @@ let campaign_cmd args =
         | _ ->
             Fmt.epr "campaign: --jobs expects a positive integer, got %s@." v;
             exit 1)
+    | "--from-snapshot" :: rest ->
+        from_snapshot := true;
+        parse rest
     | a :: _ ->
         Fmt.epr "campaign: unknown argument %s@." a;
         exit 1
   in
   parse args;
-  campaign ~jobs:!jobs ()
+  campaign ~jobs:!jobs ~from_snapshot:!from_snapshot ()
 
 (* ------------------------------------------------------------------ *)
 (* Cycle-attributed tracing (lib/obs): run a workload under a trace   *)
@@ -873,18 +880,39 @@ let report_cmd args =
 (* Crash forensics: run a faulting scenario with the flight recorder
    attached and print every dump (text, then JSON).  `pod` replays the
    §5.3.3 ping-of-death micro-reboot; an integer replays that
-   fault-campaign seed. *)
+   fault-campaign seed.  `--replay-context N` additionally records the
+   run's input journal (lib/replay) and prints, under each dump, every
+   journaled input — IRQ raise, frame delivery, fault injection — in the
+   N simulated cycles leading up to the fault: the time-travel view of
+   what the machine was fed just before it crashed. *)
 let crashdump_cmd args =
+  let context = ref None in
+  let rec split acc = function
+    | "--replay-context" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            context := Some n;
+            split acc rest
+        | _ ->
+            Fmt.epr "crashdump: --replay-context expects a positive integer@.";
+            exit 1)
+    | a :: rest -> split (a :: acc) rest
+    | [] -> List.rev acc
+  in
   let scenario =
-    match args with
+    match split [] args with
     | [] -> "pod"
     | [ s ] -> s
-    | _ -> failwith "usage: crashdump <pod|campaign-seed>"
+    | _ -> failwith "usage: crashdump <pod|campaign-seed> [--replay-context N]"
   in
+  (* The journal recorder is observationally invisible, so attaching it
+     only when asked cannot change the dumps. *)
+  let session = ref None in
+  let attach m = if !context <> None then session := Some (Replay.record m) in
   let dumps =
     match int_of_string_opt scenario with
     | Some seed ->
-        let o = Fault_campaign.run_scenario ~seed () in
+        let o = Fault_campaign.run_scenario ~prepare:attach ~seed () in
         section (Printf.sprintf "crashdump: campaign seed %d" seed);
         Fmt.pr "faults=%d reboots=%d dumps=%d@." o.Fault_campaign.oc_faults
           o.Fault_campaign.oc_reboots
@@ -894,6 +922,7 @@ let crashdump_cmd args =
         match scenario with
         | "pod" | "ping_of_death" ->
             let machine, _, frn = observed_machine () in
+            attach machine;
             section "crashdump: ping-of-death (iot scenario, fast profile)";
             ignore (Iot_scenario.run ~fast:true ~machine ());
             Forensics.dumps frn
@@ -907,7 +936,90 @@ let crashdump_cmd args =
   List.iter (fun d -> Fmt.pr "%a@." Forensics.pp_dump d) dumps;
   print_endline
     (Json.to_string ~pretty:true
-       (Json.List (List.map Forensics.dump_json dumps)))
+       (Json.List (List.map Forensics.dump_json dumps)));
+  match (!context, !session) with
+  | Some n, Some s ->
+      let journal = Replay.recorded s in
+      Replay.finish s;
+      List.iter
+        (fun d ->
+          let hi = d.Forensics.d_cycle in
+          let lo = max 0 (hi - n) in
+          let slice =
+            List.filter
+              (fun e -> e.Replay.e_cycle >= lo && e.Replay.e_cycle <= hi)
+              journal
+          in
+          Fmt.pr "@.inputs within %d cycles of the %s fault at cycle %d:@." n
+            d.Forensics.d_comp hi;
+          if slice = [] then Fmt.pr "  (none journaled)@."
+          else
+            List.iter (fun e -> Fmt.pr "  %s@." (Replay.entry_to_string e)) slice)
+        dumps
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic record-replay (lib/replay).                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The machine journals every input crossing its boundary (IRQ raises,
+   injected net frames, fault injections) with a cycle stamp; since the
+   simulation is a pure function of its inputs, re-running the same
+   workload must consume a recorded journal exactly.  `record` journals
+   a campaign seed to a file, `verify` re-runs the seed under a
+   verifying handler that fails with a cycle stamp at the first
+   mismatch, and `diff` bisects two journals cycle-window by
+   cycle-window (`make replay-smoke` drives record+verify against the
+   committed golden journal). *)
+let replay_cmd args =
+  let scenario_with session_of seed =
+    let session = ref None in
+    let outcome =
+      Fault_campaign.run_scenario
+        ~prepare:(fun m -> session := Some (session_of m))
+        ~seed ()
+    in
+    (Option.get !session, outcome)
+  in
+  match args with
+  | [ "record"; seed; path ] when int_of_string_opt seed <> None ->
+      let seed = int_of_string seed in
+      let session, outcome = scenario_with Replay.record seed in
+      let entries = Replay.recorded session in
+      Replay.finish session;
+      Replay.save path ~header:(Printf.sprintf "campaign seed %d" seed) entries;
+      section (Printf.sprintf "replay record: campaign seed %d" seed);
+      Fmt.pr "journal %s: %d entries over %d cycles (faults=%d reboots=%d)@."
+        path (List.length entries) outcome.Fault_campaign.oc_cycles
+        outcome.Fault_campaign.oc_faults outcome.Fault_campaign.oc_reboots
+  | [ "verify"; seed; path ] when int_of_string_opt seed <> None ->
+      let seed = int_of_string seed in
+      let header, journal = Replay.load path in
+      section (Printf.sprintf "replay verify: %s (%s)" path header);
+      (try
+         let session, outcome =
+           scenario_with (fun m -> Replay.verify m journal) seed
+         in
+         Replay.finish session;
+         Fmt.pr "replay verified: %d journal entries matched over %d cycles@."
+           (Replay.matched session) outcome.Fault_campaign.oc_cycles
+       with Replay.Replay_error e ->
+         Fmt.epr "%s@." (Replay.error_to_string e);
+         exit 1)
+  | [ "diff"; a; b ] ->
+      let _, ja = Replay.load a in
+      let _, jb = Replay.load b in
+      section (Printf.sprintf "replay diff: %s vs %s" a b);
+      (match Replay.divergence_report ja jb with
+      | None -> Fmt.pr "journals identical (%d entries)@." (List.length ja)
+      | Some report ->
+          Fmt.pr "%s@." report;
+          exit 1)
+  | _ ->
+      Fmt.epr
+        "usage: replay record <seed> <file> | replay verify <seed> <file> | \
+         replay diff <a> <b>@.";
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Host-performance baseline: BENCH_core.json (see EXPERIMENTS.md).   *)
@@ -981,12 +1093,23 @@ let perf_measurements () =
         let failures, _ = Fault_campaign.run ~jobs:4 ~base_seed:1 ~n:8 () in
         if failures > 0 then failwith "perf-json: campaign reported violations")
   in
+  (* The same 8 scenarios again, sequential but forked from one shared
+     post-boot snapshot instead of rebooting per seed: output is
+     byte-identical (pinned by test_farm), only the wall clock moves. *)
+  let campaign8_snapshot_s =
+    timed (fun () ->
+        let failures, _ =
+          Fault_campaign.run ~from_snapshot:true ~base_seed:1 ~n:8 ()
+        in
+        if failures > 0 then failwith "perf-json: campaign reported violations")
+  in
   let base =
     [
       ("ns_per_instr", Json.Str (Printf.sprintf "%.1f" ns));
       ("fig7_fast_s", Json.Str (Printf.sprintf "%.3f" fig7_fast_s));
       ("campaign8_s", Json.Str (Printf.sprintf "%.3f" campaign8_s));
       ("campaign8_jobs4_s", Json.Str (Printf.sprintf "%.3f" campaign8_jobs4_s));
+      ("campaign8_snapshot_s", Json.Str (Printf.sprintf "%.3f" campaign8_snapshot_s));
       ("host_cores", Json.Str (string_of_int (Farm.default_jobs ())));
     ]
   in
@@ -1089,12 +1212,20 @@ let subcommands : (string * string * (string list -> unit)) list =
       "report <workload>: per-compartment health report (text + JSON)",
       report_cmd );
     ( "crashdump",
-      "crashdump <pod|seed>: flight-recorder dumps from a faulting run",
+      "crashdump <pod|seed> [--replay-context N]: flight-recorder dumps from \
+       a faulting run, optionally with the journaled inputs of the N cycles \
+       before each fault",
       crashdump_cmd );
     ( "campaign",
-      "campaign [--jobs N]: seeded fault-injection campaign, farmed over N \
-       domains (default: all cores; output identical for every N)",
+      "campaign [--jobs N] [--from-snapshot]: seeded fault-injection \
+       campaign, farmed over N domains (default: all cores; output identical \
+       for every N and for snapshot forking)",
       campaign_cmd );
+    ( "replay",
+      "replay record|verify <seed> <file>, replay diff <a> <b>: journal a \
+       campaign scenario's input stream, re-run it under bit-exact \
+       verification, or bisect two journals",
+      replay_cmd );
   ]
 
 let usage () =

@@ -678,6 +678,33 @@ let install kernel ?(drain_per_op = 2) ?heap_base ?heap_limit () =
   hdr_store t heap_base 0 (heap_limit - heap_base - header_size);
   hdr_store t heap_base 4 st_free;
   t.free_head <- heap_base;
+  (* Off-heap bookkeeping (the heap bytes themselves restore with the
+     machine's memory).  Allocation-table records are rebuilt fresh on
+     restore: the table is the only authority over them. *)
+  Machine.on_snapshot machine (fun () ->
+      let free_head = t.free_head in
+      let allocs =
+        Hashtbl.fold
+          (fun base info acc ->
+            (base, info.a_base, info.a_size, info.a_refs, info.a_vt) :: acc)
+          t.allocs []
+      in
+      let quarantine = Queue.copy t.quarantine in
+      let quarantined_bytes = t.quarantined_bytes in
+      let next_dynamic_vt = t.next_dynamic_vt in
+      let oom_hook = t.oom_hook in
+      fun () ->
+        t.free_head <- free_head;
+        Hashtbl.reset t.allocs;
+        List.iter
+          (fun (base, a_base, a_size, a_refs, a_vt) ->
+            Hashtbl.replace t.allocs base { a_base; a_size; a_refs; a_vt })
+          allocs;
+        Queue.clear t.quarantine;
+        Queue.transfer (Queue.copy quarantine) t.quarantine;
+        t.quarantined_bytes <- quarantined_bytes;
+        t.next_dynamic_vt <- next_dynamic_vt;
+        t.oom_hook <- oom_hook);
   let with_alloc_cap f _ctx (args : Kernel.value array) =
     Machine.tick machine 24;
     match open_alloc_cap t args.(0) with

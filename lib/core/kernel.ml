@@ -243,6 +243,91 @@ let boot ?loader_size ?(quantum = 2000) ~machine fw =
                  (* Can't preempt yet: keep the machine on the event path
                     so this hook runs again at the very next tick. *)
                  Machine.request_attention machine));
+      Machine.on_snapshot machine (fun () ->
+          (* Quiescence contract: a suspended thread's [resume] closure
+             wraps an effect continuation, which is one-shot and cannot
+             be deep-copied, so the kernel only snapshots when no thread
+             is mid-effect (all unstarted or finished, or parked with no
+             pending resume) — see the snapshot invariant in DESIGN.md.
+             Post-boot/pre-run and post-run states qualify. *)
+          Array.iter
+            (fun th ->
+              if th.state = Running || th.resume <> None then
+                invalid_arg
+                  (Printf.sprintf
+                     "Kernel snapshot: thread %d suspended mid-effect \
+                      (snapshots require a quiescent kernel)"
+                     th.tid))
+            k.threads;
+          let comps =
+            Array.map
+              (fun c -> (c.impls, c.on_error, c.poisoned, c.snapshot, c.reboots))
+              k.comps
+          in
+          let threads =
+            Array.map
+              (fun th ->
+                ( th.state, th.wake_value, th.deadline, th.started, th.hazards,
+                  th.watermark ))
+              k.threads
+          in
+          let current = k.current and last_ran = k.last_ran in
+          let idle = k.idle and switches = k.switches in
+          let stop = k.stop and preempt_pending = k.preempt_pending in
+          let irq_handlers = k.irq_handlers in
+          let call_fault_hook = k.call_fault_hook in
+          let reboot_cycles = k.reboot_cycles in
+          let reboot_watchers = k.reboot_watchers in
+          let next_watcher = k.next_watcher in
+          let reboot_limits =
+            List.map
+              (fun (c, rl) -> (c, rl, rl.rl_history, rl.rl_locked))
+              k.reboot_limits
+          in
+          let service_keys = k.service_keys in
+          fun () ->
+            Array.iteri
+              (fun i (impls, on_error, poisoned, snapshot, reboots) ->
+                let c = k.comps.(i) in
+                c.impls <- impls;
+                c.on_error <- on_error;
+                c.poisoned <- poisoned;
+                c.snapshot <- snapshot;
+                c.reboots <- reboots)
+              comps;
+            Array.iteri
+              (fun i (state, wake_value, deadline, started, hazards, watermark) ->
+                let th = k.threads.(i) in
+                th.state <- state;
+                th.resume <- None;
+                th.wake_value <- wake_value;
+                th.deadline <- deadline;
+                th.started <- started;
+                th.hazards <- hazards;
+                th.watermark <- watermark)
+              threads;
+            k.current <- current;
+            k.last_ran <- last_ran;
+            k.idle <- idle;
+            k.switches <- switches;
+            k.stop <- stop;
+            k.preempt_pending <- preempt_pending;
+            k.irq_handlers <- irq_handlers;
+            k.call_fault_hook <- call_fault_hook;
+            k.reboot_cycles <- reboot_cycles;
+            k.reboot_watchers <- reboot_watchers;
+            k.next_watcher <- next_watcher;
+            (* The limit records are shared with any closures holding
+               them; restore their mutable fields in place and the assoc
+               list itself (dropping post-snapshot additions). *)
+            k.reboot_limits <-
+              List.map (fun (c, rl, _, _) -> (c, rl)) reboot_limits;
+            List.iter
+              (fun (_, rl, hist, locked) ->
+                rl.rl_history <- hist;
+                rl.rl_locked <- locked)
+              reboot_limits;
+            k.service_keys <- service_keys);
       Ok k
 
 (* Registration *)

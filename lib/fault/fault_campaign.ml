@@ -190,8 +190,41 @@ let check_stored_caps machine alloc =
       end);
   match !errs with [] -> Ok () | e -> Error (String.concat "; " e)
 
-let run_scenario ?(steps = 60) ?trace ~seed () =
+(* The seed-independent prefix of a scenario: machine, observability,
+   engine, network world, boot, wiring.  Split from the per-seed body so
+   the from-snapshot path can build it once, [Machine.snapshot] the
+   post-boot state, and fork every scenario from the shared image with
+   [Machine.restore] + [Fault_inject.reseed] — byte-identical to booting
+   from scratch, without re-paying boot per seed. *)
+
+type image = {
+  im_machine : Machine.t;
+  im_frn : Forensics.t;
+  im_engine : Fault_inject.t;
+  im_net : Netsim.t;
+  im_sys : System.t;
+}
+
+let boot_failed_outcome machine ~seed e =
+  {
+    oc_seed = seed;
+    oc_cycles = Machine.cycles machine;
+    oc_faults = 0;
+    oc_reboots = 0;
+    oc_svc_ok = 0;
+    oc_svc_err = 0;
+    oc_probe_ok = false;
+    oc_violations = [ "boot failed: " ^ e ];
+    oc_trace = [];
+    oc_dumps = [];
+  }
+
+let build_image ?trace ?prepare ~seed () =
   let machine = Machine.create () in
+  (* Callers attaching an input-journal session (bench `replay`, the
+     replay test suite) hook the bare machine here, before any boot
+     activity, so the journal covers the whole scenario. *)
+  (match prepare with Some f -> f machine | None -> ());
   (* Every scenario carries a flight recorder, and the recorder rides
      the trace stream, so make sure a sink exists even for callers that
      did not ask for one (both are observationally invisible). *)
@@ -204,22 +237,8 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
   Machine.set_forensics machine (Some frn);
   let engine = Fault_inject.create ~seed machine in
   let net = Netsim.attach ~latency:4_000 machine in
-  let violations = ref [] in
-  let viol fmt = Printf.ksprintf (fun s -> violations := !violations @ [ s ]) fmt in
   match System.boot ~machine (firmware ()) with
-  | Error e ->
-      {
-        oc_seed = seed;
-        oc_cycles = Machine.cycles machine;
-        oc_faults = 0;
-        oc_reboots = 0;
-        oc_svc_ok = 0;
-        oc_svc_err = 0;
-        oc_probe_ok = false;
-        oc_violations = [ "boot failed: " ^ e ];
-        oc_trace = [];
-        oc_dumps = [];
-      }
+  | Error e -> Error (machine, e)
   | Ok sys ->
       let k = sys.System.kernel in
       let alloc = sys.System.alloc in
@@ -230,6 +249,19 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
       Fault_inject.wire_kernel engine k ~victims:[ "svc" ];
       Fault_inject.observe_reboots engine;
       Kernel.snapshot_globals k ~comp:"svc";
+      Ok { im_machine = machine; im_frn = frn; im_engine = engine;
+           im_net = net; im_sys = sys }
+
+let scenario_body img ~steps ~seed () =
+  let machine = img.im_machine in
+  let frn = img.im_frn in
+  let engine = img.im_engine in
+  let sys = img.im_sys in
+  let k = sys.System.kernel in
+  let alloc = sys.System.alloc in
+  let violations = ref [] in
+  let viol fmt = Printf.ksprintf (fun s -> violations := !violations @ [ s ]) fmt in
+  begin
       (* The workload draws from its own stream so injector and workload
          stay independent but both replay from the one seed. *)
       let wrng = Random.State.make [| seed; 0x9e3779b9 |] in
@@ -391,15 +423,60 @@ let run_scenario ?(steps = 60) ?trace ~seed () =
         oc_trace = trace_lines;
         oc_dumps = dumps;
       }
+  end
 
-let run ?(verbose = false) ?steps ?(jobs = 1) ~base_seed ~n () =
+let run_scenario ?(steps = 60) ?trace ?prepare ~seed () =
+  match build_image ?trace ?prepare ~seed () with
+  | Error (machine, e) -> boot_failed_outcome machine ~seed e
+  | Ok img -> scenario_body img ~steps ~seed ()
+
+(* Contiguous chunks for the from-snapshot path: one shared post-boot
+   image (and one snapshot) per domain. *)
+let chunk_seeds ~jobs seeds =
+  let n = List.length seeds in
+  let size = max 1 ((n + jobs - 1) / jobs) in
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | s :: rest ->
+        if k = size then go (List.rev cur :: acc) [ s ] 1 rest
+        else go acc (s :: cur) (k + 1) rest
+  in
+  go [] [] 0 seeds
+
+let run_chunk ?(steps = 60) seeds =
+  match seeds with
+  | [] -> []
+  | first :: _ -> (
+      match build_image ~seed:first () with
+      | Error (machine, e) ->
+          List.map (fun seed -> boot_failed_outcome machine ~seed e) seeds
+      | Ok img ->
+          let snap = Machine.snapshot img.im_machine in
+          List.map
+            (fun seed ->
+              Machine.restore img.im_machine snap;
+              Fault_inject.reseed img.im_engine ~seed;
+              scenario_body img ~steps ~seed ())
+            seeds)
+
+let run ?(verbose = false) ?steps ?(jobs = 1) ?(from_snapshot = false)
+    ~base_seed ~n () =
   (* Scenarios are independent pure functions of their seed, so they
      farm across domains; all reporting happens here after the merge, in
-     seed order, making the output byte-identical for every job count. *)
+     seed order, making the output byte-identical for every job count.
+     [from_snapshot] forks each scenario from one shared post-boot image
+     per domain instead of rebooting — the restore-then-reseed dance is
+     byte-identical to a fresh boot (pinned by test_farm), it just
+     skips the boot work. *)
   let outcomes =
-    Farm.map_list ~jobs
-      (fun seed -> run_scenario ?steps ~seed ())
-      (List.init n (fun i -> base_seed + i))
+    if from_snapshot then
+      List.concat
+        (Farm.map_list ~jobs (run_chunk ?steps)
+           (chunk_seeds ~jobs (List.init n (fun i -> base_seed + i))))
+    else
+      Farm.map_list ~jobs
+        (fun seed -> run_scenario ?steps ~seed ())
+        (List.init n (fun i -> base_seed + i))
   in
   let failures = ref 0 in
   List.iter

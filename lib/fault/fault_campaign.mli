@@ -38,19 +38,25 @@ val iters : default:int -> int
 (** Scenario count for the current run: [FAULT_CAMPAIGN_ITERS] from the
     environment when set to a positive integer, else [default]. *)
 
-val run_scenario : ?steps:int -> ?trace:Obs.t -> seed:int -> unit -> outcome
+val run_scenario :
+  ?steps:int -> ?trace:Obs.t -> ?prepare:(Machine.t -> unit) -> seed:int ->
+  unit -> outcome
 (** One scenario.  [steps] is the driver's iteration count (default
     60); everything else derives from [seed].  [trace] attaches an
     event sink to the scenario's machine before boot; without it a
     private default sink is attached anyway, because every scenario
     carries a {!Forensics} flight recorder fed from the trace stream
     (both are observationally invisible, so the outcome is
-    unchanged). *)
+    unchanged).  [prepare] runs on the freshly created machine before
+    anything else touches it — the hook the replay tooling uses to
+    attach a recording or verifying input-journal session covering the
+    whole scenario, boot included. *)
 
 val run :
   ?verbose:bool ->
   ?steps:int ->
   ?jobs:int ->
+  ?from_snapshot:bool ->
   base_seed:int ->
   n:int ->
   unit ->
@@ -62,4 +68,10 @@ val run :
     [jobs] farms scenarios across that many domains ({!Farm.run});
     outcomes and all printing stay in seed order, so the output is
     byte-identical for every job count.  Default 1 (sequential, no
-    domain operations). *)
+    domain operations).
+
+    [from_snapshot] (default false) builds one post-boot image per
+    domain, takes a {!Machine.snapshot}, and forks every scenario from
+    it with [restore] + {!Fault_inject.reseed} instead of rebooting.
+    Outcomes and output are byte-identical to the from-scratch path for
+    every job count (pinned by test_farm); only the wall clock drops. *)

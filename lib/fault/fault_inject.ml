@@ -59,8 +59,8 @@ let default_weights =
   ]
 
 type t = {
-  seed : int;
-  rng : Random.State.t;
+  mutable seed : int;
+  mutable rng : Random.State.t;
   machine : Machine.t;
   weights : (kind * int) list;
   total_weight : int;
@@ -106,6 +106,8 @@ let log t fmt =
     (fun s ->
       if Machine.tracing t.machine then
         Machine.emit t.machine (Obs.Fault_note { note = s });
+      if Machine.input_logging t.machine then
+        Machine.log_input t.machine ("fault " ^ s);
       t.trace_rev <-
         Printf.sprintf "[%d] %s" (Machine.cycles t.machine) s :: t.trace_rev)
     fmt
@@ -228,7 +230,45 @@ let create ?(period = 4_000) ?(weights = default_weights) ?(storm_len = 12)
              end;
              update_wakeup t
            end));
+  (* The engine forks with the machine: the RNG copies both ways so
+     repeated restores always resume from the identical draw stream. *)
+  Machine.on_snapshot machine (fun () ->
+      let seed = t.seed in
+      let rng = Random.State.copy t.rng in
+      let armed = t.armed in
+      let next_due = t.next_due in
+      let storm = t.storm in
+      let pending_oom = t.pending_oom in
+      let pending_crash = t.pending_crash in
+      let net_queue = t.net_queue in
+      let victims = t.victims in
+      let regions = t.regions in
+      let trace_rev = t.trace_rev in
+      let injected = t.injected in
+      let listener = t.listener in
+      let reboot_sub = t.reboot_sub in
+      let kernel = t.kernel in
+      fun () ->
+        t.seed <- seed;
+        t.rng <- Random.State.copy rng;
+        t.armed <- armed;
+        t.next_due <- next_due;
+        t.storm <- storm;
+        t.pending_oom <- pending_oom;
+        t.pending_crash <- pending_crash;
+        t.net_queue <- net_queue;
+        t.victims <- victims;
+        t.regions <- regions;
+        t.trace_rev <- trace_rev;
+        t.injected <- injected;
+        t.listener <- listener;
+        t.reboot_sub <- reboot_sub;
+        t.kernel <- kernel);
   t
+
+let reseed t ~seed =
+  t.seed <- seed;
+  t.rng <- Random.State.make [| seed; 0xc4e7107 |]
 
 let seed t = t.seed
 let injected t = t.injected

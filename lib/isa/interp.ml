@@ -44,17 +44,41 @@ type outcome = Halted | Exited of Cap.t | Trapped of trap
 exception Trap_exn of trap
 
 let create ?(predecode = true) machine =
-  {
-    machine;
-    predecode;
-    segments = [];
-    last_seg = None;
-    br_pc = -1;
-    br_target = 0;
-    regs = Array.make 16 Cap.null;
-    specials = Array.make 3 Cap.null;
-    instret = 0;
-  }
+  let t =
+    {
+      machine;
+      predecode;
+      segments = [];
+      last_seg = None;
+      br_pc = -1;
+      br_target = 0;
+      regs = Array.make 16 Cap.null;
+      specials = Array.make 3 Cap.null;
+      instret = 0;
+    }
+  in
+  (* Register file, special registers, retired-instruction counter and
+     the segment map are the interpreter's whole mutable surface; the
+     per-segment [dec] arrays are pure decode caches of immutable
+     programs, valid across restore (both predecode modes restore
+     identically). *)
+  Machine.on_snapshot machine (fun () ->
+      let regs = Array.copy t.regs in
+      let specials = Array.copy t.specials in
+      let instret = t.instret in
+      let segments = t.segments in
+      let last_seg = t.last_seg in
+      let br_pc = t.br_pc in
+      let br_target = t.br_target in
+      fun () ->
+        Array.blit regs 0 t.regs 0 (Array.length regs);
+        Array.blit specials 0 t.specials 0 (Array.length specials);
+        t.instret <- instret;
+        t.segments <- segments;
+        t.last_seg <- last_seg;
+        t.br_pc <- br_pc;
+        t.br_target <- br_target);
+  t
 
 let machine t = t.machine
 let predecode t = t.predecode

@@ -77,6 +77,12 @@ type t = {
   mutable obs : Obs.t option;  (* trace sink; never affects simulation *)
   mutable frn : Forensics.t option;  (* flight recorder; rides the trace *)
   rev_futex : int ref;
+  mutable input_log : (cycle:int -> string -> unit) option;
+      (* replay-journal tap (lib/replay): IRQ raises, injected frames,
+         fault notes.  Host-side only, observationally invisible. *)
+  mutable snaps : (unit -> unit -> unit) list;
+      (* component capture registry, newest first: each entry deep-copies
+         its owner's state and returns the restore thunk *)
 }
 
 let timer_irq = 0
@@ -121,7 +127,19 @@ let set_irq_enabled m b =
   m.irq_enabled <- b;
   dirty m
 
+(* Replay journal tap.  Like tracing, logging must stay observationally
+   invisible: no tick, no simulated memory, no [dirty]. *)
+
+let set_input_log m h = m.input_log <- h
+let input_logging m = m.input_log <> None
+
+let log_input m s =
+  match m.input_log with None -> () | Some f -> f ~cycle:m.cycles s
+
 let raise_irq m n =
+  (match m.input_log with
+  | None -> ()
+  | Some f -> f ~cycle:m.cycles (Printf.sprintf "irq %d" n));
   m.pending <- m.pending lor (1 lsl n);
   dirty m
 
@@ -291,6 +309,8 @@ let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
       obs = Obs.auto ();
       frn = None;
       rev_futex = ref 0;
+      input_log = None;
+      snaps = [];
     }
   in
   (* The flight recorder rides the trace stream: only attach one when a
@@ -495,3 +515,114 @@ let zero m ~auth ~addr ~len =
     tick m ((len + Memory.granule_size - 1) / Memory.granule_size * Cost.mem_cap);
     Memory.zero ~auth m.mem ~addr ~len
   end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The machine itself owns memory, the clock, interrupt state, the timer,
+   the revoker, the listener table and the attached observability sinks;
+   everything else (interpreter registers, kernel, allocator, scheduler,
+   netsim, fault engine) registers a capture here at creation time, so
+   the whole reachable state surface restores through one call.  Capture
+   is pure (deep copies only); restore is in-place, so every closure the
+   simulation handed out (hooks, listeners, implement bodies) keeps
+   pointing at the live instances.
+
+   Two states are deliberately NOT restorable and snapshot refuses them:
+   mid-delivery (the continuation of the interrupted hook cannot be
+   copied) — and, by the same argument, components must only register
+   captures whose state is plain data at the snapshot point (the kernel's
+   quiescence contract, see DESIGN.md). *)
+
+type snap = { sn_machine : t; sn_restore : unit -> unit }
+
+type snapshot_handle = snap
+
+let on_snapshot m capture = m.snaps <- capture :: m.snaps
+
+let snapshot m =
+  if m.delivering then
+    invalid_arg "Machine.snapshot: inside interrupt delivery";
+  let mem_r = Memory.snapshot m.mem in
+  let cycles = m.cycles in
+  let irq_enabled = m.irq_enabled in
+  let pending = m.pending in
+  let hook = m.hook in
+  let post_tick = m.post_tick in
+  let timer_deadline = m.timer_deadline in
+  let regions = m.regions in
+  let rev_state =
+    match m.rev_state with
+    | Idle -> None
+    | Sweeping s -> Some (s.next, s.debt)
+  in
+  let rev_epoch = m.rev_epoch in
+  let rev_rate = m.rev_rate in
+  let rev_lag = m.rev_lag in
+  let attention = m.attention in
+  let rev_futex_v = !(m.rev_futex) in
+  let obs = m.obs in
+  let frn = m.frn in
+  let input_log = m.input_log in
+  let snaps = m.snaps in
+  let obs_r = match m.obs with Some o -> Obs.snapshot o | None -> ignore in
+  let frn_r =
+    match m.frn with Some f -> Forensics.snapshot f | None -> ignore
+  in
+  let listeners = Array.sub m.listeners 0 m.n_listeners in
+  let lstate = Array.map (fun l -> (l.lk_next, l.lk_alive)) listeners in
+  (* Component captures run in registration order. *)
+  let comp_rs = List.rev_map (fun capture -> capture ()) m.snaps in
+  let restore () =
+    mem_r ();
+    m.cycles <- cycles;
+    m.irq_enabled <- irq_enabled;
+    m.pending <- pending;
+    m.hook <- hook;
+    m.post_tick <- post_tick;
+    m.timer_deadline <- timer_deadline;
+    m.regions <- regions;
+    let tbl = Array.of_list regions in
+    Array.sort (fun a b -> compare a.dev_base b.dev_base) tbl;
+    m.region_tbl <- tbl;
+    m.region_hot <- None;
+    m.rev_state <-
+      (match rev_state with
+      | None -> Idle
+      | Some (next, debt) -> Sweeping { next; debt });
+    m.rev_epoch <- rev_epoch;
+    m.rev_rate <- rev_rate;
+    m.rev_lag <- rev_lag;
+    m.attention <- attention;
+    m.rev_futex := rev_futex_v;
+    m.obs <- obs;
+    m.frn <- frn;
+    m.input_log <- input_log;
+    m.snaps <- snaps;
+    obs_r ();
+    frn_r ();
+    (* Exactly the snapshot-time listeners, with their scheduling state;
+       listeners registered after the snapshot are forgotten (their
+       handles stay inert: a dead slot is never called). *)
+    let n = Array.length listeners in
+    let arr = Array.make (max 4 n) no_listener in
+    Array.blit listeners 0 arr 0 n;
+    m.listeners <- arr;
+    m.n_listeners <- n;
+    Array.iteri
+      (fun i l ->
+        let next, alive = lstate.(i) in
+        l.lk_next <- next;
+        l.lk_alive <- alive)
+      listeners;
+    List.iter (fun r -> r ()) comp_rs;
+    m.delivering <- false;
+    dirty m
+  in
+  { sn_machine = m; sn_restore = restore }
+
+let restore m s =
+  if s.sn_machine != m then
+    invalid_arg "Machine.restore: snapshot belongs to a different machine";
+  s.sn_restore ()

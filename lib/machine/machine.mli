@@ -182,3 +182,54 @@ val set_revoker_rate : t -> cycles_per_granule:int -> unit
 val run_revoker_to_completion : t -> unit
 (** Spin (charging idle cycles) until the current sweep finishes.  Test
     and allocator-stall helper. *)
+
+(* Snapshot / restore.
+
+   A snapshot deep-copies the entire reachable simulation state — memory
+   with its tag and revocation bitmaps, the clock, interrupt and timer
+   state, the revoker (including a mid-sweep position), the listener
+   table, the trace ring and flight recorder, and every component that
+   registered a capture with [on_snapshot] (interpreter register file,
+   kernel, allocator, scheduler, netsim, fault engine).  [restore] puts
+   it all back in place on the same live instances, so closures handed
+   out before the snapshot keep working afterwards.
+
+   Restorable points are {e quiescent} points: no interrupt delivery in
+   flight ([snapshot] raises [Invalid_argument] otherwise) and no kernel
+   thread suspended mid-effect (effect continuations are not copyable;
+   see the snapshot-reachability invariant in DESIGN.md).  Post-boot /
+   pre-run and post-run states qualify; the fault campaign forks every
+   scenario from a shared post-boot image this way. *)
+
+type snapshot_handle
+
+val on_snapshot : t -> (unit -> unit -> unit) -> unit
+(** Register a component capture: called at [snapshot] time, it must
+    deep-copy the component's mutable state and return a thunk restoring
+    it in place.  Components register once, at creation/installation.
+    Captures run in registration order; restores likewise. *)
+
+val snapshot : t -> snapshot_handle
+(** Capture the full machine state.  Pure: the machine is not perturbed
+    (same clock, same horizon, same event stream). *)
+
+val restore : t -> snapshot_handle -> unit
+(** Rewind the machine to the snapshot point.  Raises [Invalid_argument]
+    if the snapshot was taken on a different machine.  Listeners and
+    component captures registered {e after} the snapshot are forgotten
+    (their handles become inert). *)
+
+(* Input journal — see {!Replay}.  When a handler is installed, every
+   nondeterministic-looking input crossing the machine boundary (IRQ
+   raises, injected network frames, fault-engine injections) is reported
+   with its cycle stamp.  Logging is observationally invisible: it never
+   ticks the clock or touches simulated memory. *)
+
+val set_input_log : t -> (cycle:int -> string -> unit) option -> unit
+
+val input_logging : t -> bool
+
+val log_input : t -> string -> unit
+(** Report one input event stamped with the current cycle; no-op without
+    a handler.  [raise_irq] calls this itself; devices log richer
+    payloads (netsim frames, fault notes) before raising. *)

@@ -374,3 +374,26 @@ let sweep_granule m g =
       else false
 
 let tagged_granule_count m = m.tagged_count
+
+(* Snapshot/restore: deep-copy every mutable component into a closure
+   that writes it back in place.  Restore writes [caps] directly rather
+   than through [cap_put], so the tag-set hook never observes it (a
+   restore is not a store); the hook itself is left untouched — it
+   belongs to whoever installed it, not to the memory image. *)
+
+let snapshot m =
+  let data = Bytes.copy m.data in
+  let caps = Array.copy m.caps in
+  let tagged = Bytes.copy m.tagged in
+  let tagged_count = m.tagged_count in
+  let revoked = Bytes.copy m.revoked in
+  let revoked_count = m.revoked_count in
+  let load_filter = m.load_filter in
+  fun () ->
+    Bytes.blit data 0 m.data 0 (Bytes.length data);
+    Array.blit caps 0 m.caps 0 (Array.length caps);
+    Bytes.blit tagged 0 m.tagged 0 (Bytes.length tagged);
+    m.tagged_count <- tagged_count;
+    Bytes.blit revoked 0 m.revoked 0 (Bytes.length revoked);
+    m.revoked_count <- revoked_count;
+    m.load_filter <- load_filter

@@ -144,3 +144,13 @@ val tagged_granule_count : t -> int
 (** Number of granules currently holding valid capabilities.  O(1):
     maintained incrementally alongside the tag bitmap; used by the
     revoker's sweep scheduling and the allocator's heuristics. *)
+
+(* Snapshot *)
+
+val snapshot : t -> unit -> unit
+(** [snapshot m] deep-copies the entire memory image — data bytes,
+    capability array, tag bitmap, revocation bitmap, their counters and
+    the load-filter toggle — and returns a thunk that restores it in
+    place.  Restoring bypasses the tag-set hook (a restore is not a
+    store) and leaves the installed hook untouched.  Building block of
+    {!Machine.snapshot}. *)

@@ -89,6 +89,12 @@ let corrupt_frame frame off mask =
 let to_device t ?delay frame =
   let delay = Option.value ~default:t.latency delay in
   let deliver d f =
+    (* Input journal: every frame headed for the device, after the chaos
+       hook had its say (digest, not payload, so journals stay small). *)
+    if Machine.input_logging t.machine then
+      Machine.log_input t.machine
+        (Printf.sprintf "frame +%d len=%d %s" d (String.length f)
+           (Digest.to_hex (Digest.string f)));
     t.pending <- t.pending @ [ (Machine.cycles t.machine + d, f) ];
     update_wakeup t
   in
@@ -397,6 +403,61 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
   t.listener <-
     Some (Machine.add_tick_listener ~period:0 machine (fun now -> fire_due t now));
   update_wakeup t;
+  (* The world's whole state lives in [t] (the MMIO device reads through
+     it); connection and TLS records are shared with in-flight closures,
+     so their mutable fields restore in place. *)
+  Machine.on_snapshot machine (fun () ->
+      let chaos_hook = t.chaos_hook in
+      let pending = t.pending in
+      let rxq = Queue.copy t.rxq in
+      let txbuf = Bytes.copy t.txbuf in
+      let dns = t.dns in
+      let wallclock = t.wallclock in
+      let conns =
+        List.map
+          (fun c ->
+            let tls =
+              Option.map
+                (fun tls ->
+                  (tls, Tls_lite.send_counter tls, Tls_lite.recv_counter tls))
+                c.sc_tls
+            in
+            (c, c.sc_state, c.sc_seq, c.sc_ack, c.sc_stream, tls, c.sc_subs))
+          t.conns
+      in
+      let publishes = t.publishes in
+      let pods = t.pods in
+      let sent = t.sent and received = t.received in
+      let last_echo_reply = t.last_echo_reply in
+      let listener = t.listener in
+      fun () ->
+        t.chaos_hook <- chaos_hook;
+        t.pending <- pending;
+        Queue.clear t.rxq;
+        Queue.transfer (Queue.copy rxq) t.rxq;
+        Bytes.blit txbuf 0 t.txbuf 0 (Bytes.length txbuf);
+        t.dns <- dns;
+        t.wallclock <- wallclock;
+        t.conns <- List.map (fun (c, _, _, _, _, _, _) -> c) conns;
+        List.iter
+          (fun (c, state, seq, ack, stream, tls, subs) ->
+            c.sc_state <- state;
+            c.sc_seq <- seq;
+            c.sc_ack <- ack;
+            c.sc_stream <- stream;
+            c.sc_tls <- Option.map (fun (conn, _, _) -> conn) tls;
+            (match tls with
+            | Some (conn, send_ctr, recv_ctr) ->
+                Tls_lite.set_counters conn ~send:send_ctr ~recv:recv_ctr
+            | None -> ());
+            c.sc_subs <- subs)
+          conns;
+        t.publishes <- publishes;
+        t.pods <- pods;
+        t.sent <- sent;
+        t.received <- received;
+        t.last_echo_reply <- last_echo_reply;
+        t.listener <- listener);
   t
 
 let detach t =

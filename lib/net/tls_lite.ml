@@ -25,6 +25,13 @@ let fnv key s =
 
 type conn = { key : int; mutable send_ctr : int; mutable recv_ctr : int }
 
+let send_counter c = c.send_ctr
+let recv_counter c = c.recv_ctr
+
+let set_counters c ~send ~recv =
+  c.send_ctr <- send;
+  c.recv_ctr <- recv
+
 let derive ~secret ~peer_pub ~nc ~ns =
   let shared = modexp peer_pub secret in
   fnv shared (Printf.sprintf "%d|%d" nc ns)

@@ -48,3 +48,10 @@ val record_needs : string -> int option
 val record_size : string -> int
 (** Total wire size of the first record in the buffer (valid once
     [record_needs] returns [Some 0]). *)
+
+(* Record-counter access for machine snapshots ({!Machine.snapshot}):
+   the counters are a connection's only mutable state. *)
+
+val send_counter : conn -> int
+val recv_counter : conn -> int
+val set_counters : conn -> send:int -> recv:int -> unit

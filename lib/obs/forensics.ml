@@ -314,6 +314,87 @@ let ingest t ~cycle kind =
       | None -> ())
   | _ -> ()
 
+(* Snapshot/restore for Machine.snapshot: deep-copy every mutable piece
+   of ingest state into a closure that writes it back in place.  Frame
+   lists and events are immutable, so the hashtable values can be shared;
+   [hist], [cstat] and [dump] carry mutable fields and are copied
+   field-by-field. *)
+
+let save_hist h = (h.h_n, h.h_sum, h.h_min, h.h_max, Array.copy h.h_buckets)
+
+let restore_hist_into dst (n, sum, mn, mx, buckets) =
+  dst.h_n <- n;
+  dst.h_sum <- sum;
+  dst.h_min <- mn;
+  dst.h_max <- mx;
+  Array.blit buckets 0 dst.h_buckets 0 nbuckets
+
+let snapshot t =
+  let dumps = List.map (fun d -> (d, d.d_rebooted)) t.dumps_rev in
+  let ndumps = t.ndumps in
+  let cur_tid = t.cur_tid in
+  let thread_names = Hashtbl.copy t.thread_names in
+  let stacks = Hashtbl.copy t.stacks in
+  let pending_irq = t.pending_irq in
+  let sizes = Hashtbl.copy t.sizes in
+  let freed_owner = Hashtbl.copy t.freed_owner in
+  let quar = Hashtbl.copy t.quar in
+  let quar_bytes = t.quar_bytes in
+  let quar_chunks = t.quar_chunks in
+  let stats =
+    Hashtbl.fold
+      (fun k s acc ->
+        (k, (s.cs_calls, s.cs_faults, s.cs_reboots, save_hist s.cs_lat,
+             s.cs_live, s.cs_hwm, save_hist s.cs_quar))
+        :: acc)
+      t.stats []
+  in
+  let call_lat = save_hist t.call_lat in
+  let irq_lat = save_hist t.irq_lat in
+  let alloc_sz = save_hist t.alloc_sz in
+  let quar_res = save_hist t.quar_res in
+  let recent = Array.copy t.recent in
+  let recent_head = t.recent_head in
+  fun () ->
+    t.dumps_rev <-
+      List.map
+        (fun (d, rebooted) ->
+          d.d_rebooted <- rebooted;
+          d)
+        dumps;
+    t.ndumps <- ndumps;
+    t.cur_tid <- cur_tid;
+    let refill dst src =
+      Hashtbl.reset dst;
+      Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+    in
+    refill t.thread_names thread_names;
+    refill t.stacks stacks;
+    t.pending_irq <- pending_irq;
+    refill t.sizes sizes;
+    refill t.freed_owner freed_owner;
+    refill t.quar quar;
+    t.quar_bytes <- quar_bytes;
+    t.quar_chunks <- quar_chunks;
+    Hashtbl.reset t.stats;
+    List.iter
+      (fun (k, (calls, faults, reboots, lat, live, hwm, quarh)) ->
+        let s =
+          { cs_calls = calls; cs_faults = faults; cs_reboots = reboots;
+            cs_lat = hist_create (); cs_live = live; cs_hwm = hwm;
+            cs_quar = hist_create () }
+        in
+        restore_hist_into s.cs_lat lat;
+        restore_hist_into s.cs_quar quarh;
+        Hashtbl.add t.stats k s)
+      stats;
+    restore_hist_into t.call_lat call_lat;
+    restore_hist_into t.irq_lat irq_lat;
+    restore_hist_into t.alloc_sz alloc_sz;
+    restore_hist_into t.quar_res quar_res;
+    Array.blit recent 0 t.recent 0 recent_cap;
+    t.recent_head <- recent_head
+
 (* How many recent-ring lines a dump carries. *)
 let recent_keep = 16
 

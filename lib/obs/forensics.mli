@@ -43,6 +43,12 @@ val ingest : t -> cycle:int -> Obs.kind -> unit
 (** Fold one event into the recorder.  Called by [Machine.emit] for
     every traced event; must stay cheap and simulation-invisible. *)
 
+val snapshot : t -> unit -> unit
+(** [snapshot t] deep-copies the full ingest state (dumps, call stacks,
+    per-compartment stats, all histograms, the recent-event ring) and
+    returns a thunk restoring it in place.  Building block of
+    {!Machine.snapshot}. *)
+
 (* Crash dumps *)
 
 type dump = {

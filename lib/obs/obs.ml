@@ -121,6 +121,15 @@ let emit t ~cycle kind =
 
 let clear t = t.head <- 0
 
+(* For Machine.snapshot: events are immutable records, so copying the
+   slot array and the head counter captures the whole ring. *)
+let snapshot t =
+  let head = t.head in
+  let buf = Array.copy t.buf in
+  fun () ->
+    t.head <- head;
+    Array.blit buf 0 t.buf 0 t.cap
+
 let events t =
   let n = length t in
   List.init n (fun i -> t.buf.((t.head - n + i) mod t.cap))

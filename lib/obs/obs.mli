@@ -65,6 +65,11 @@ val dropped : t -> int
 val emit : t -> cycle:int -> kind -> unit
 val clear : t -> unit
 
+val snapshot : t -> unit -> unit
+(** [snapshot t] copies the ring (slots + head counter) and returns a
+    thunk restoring it in place.  Building block of
+    {!Machine.snapshot}. *)
+
 val events : t -> event list
 (** Retained events, oldest first (emission order). *)
 

@@ -210,6 +210,19 @@ let install kernel =
       iv (Machine.cycles machine));
   Kernel.implement kernel ~comp:comp_name ~entry:"idle_stats" (fun _ctx _ ->
       (iv (Kernel.idle_cycles kernel), iv (Machine.cycles machine)));
+  (* Waker closures wrap effect continuations and cannot be copied; the
+     kernel's quiescence check (no thread mid-effect) guarantees the
+     table is empty of live wakers at any snapshot point, so a shallow
+     binding copy restores it exactly. *)
+  Machine.on_snapshot machine (fun () ->
+      let bindings =
+        Hashtbl.fold (fun addr l acc -> (addr, !l) :: acc) t.waiters []
+      in
+      fun () ->
+        Hashtbl.reset t.waiters;
+        List.iter
+          (fun (addr, ws) -> Hashtbl.replace t.waiters addr (ref ws))
+          bindings);
   t
 
 (* Client wrappers *)

@@ -90,6 +90,35 @@ let test_campaign_parallel_equals_sequential () =
         true (a = b))
     out_seq out_par
 
+(* The ISSUE-6 acceptance property: forking every scenario from a shared
+   post-boot snapshot (restore + reseed instead of rebooting) is
+   outcome-for-outcome identical to the from-scratch sequential run, at
+   every job count — the snapshot carries the *whole* machine, so the
+   only thing that may differ is the wall clock. *)
+let test_campaign_from_snapshot_equals_scratch () =
+  let _, scratch = Fault_campaign.run ~jobs:1 ~base_seed:5000 ~n:6 () in
+  List.iter
+    (fun jobs ->
+      let bad, forked =
+        Fault_campaign.run ~jobs ~from_snapshot:true ~base_seed:5000 ~n:6 ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "violations (jobs=%d)" jobs)
+        0 bad;
+      Alcotest.(check int)
+        (Printf.sprintf "outcome count (jobs=%d)" jobs)
+        (List.length scratch) (List.length forked);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check int) "seed order" a.Fault_campaign.oc_seed
+            b.Fault_campaign.oc_seed;
+          Alcotest.(check bool)
+            (Printf.sprintf "forked outcome for seed %d identical (jobs=%d)"
+               a.Fault_campaign.oc_seed jobs)
+            true (a = b))
+        scratch forked)
+    [ 1; 2; 4 ]
+
 let () =
   Alcotest.run "cheriot_farm"
     [
@@ -110,5 +139,7 @@ let () =
         [
           Alcotest.test_case "parallel campaign == sequential" `Slow
             test_campaign_parallel_equals_sequential;
+          Alcotest.test_case "from-snapshot campaign == from-scratch" `Slow
+            test_campaign_from_snapshot_equals_scratch;
         ] );
     ]
