@@ -1029,11 +1029,22 @@ let replay_cmd args =
    attached (network world, armed timer): arithmetic, a store and a load
    per iteration, so the instruction-dispatch, memory and tick paths are
    all on the measured loop. *)
-let ns_per_instr () =
+let engine_name = function
+  | `Legacy -> "legacy"
+  | `Predecode -> "predecode"
+  | `Superblock -> "superblock"
+
+let engine_of_name = function
+  | "legacy" -> Some `Legacy
+  | "predecode" -> Some `Predecode
+  | "superblock" -> Some `Superblock
+  | _ -> None
+
+let ns_per_instr ?(engine = `Superblock) () =
   let machine = Machine.create () in
   ignore (Netsim.attach machine);
   Machine.set_timer machine (Some 4_000_000_000);
-  let interp = Interp.create machine in
+  let interp = Interp.create ~engine machine in
   let iters = 500_000 in
   let prog =
     Isa.assemble ~name:"spin"
@@ -1078,7 +1089,9 @@ let timed f =
   Unix.gettimeofday () -. t0
 
 let perf_measurements () =
-  let ns = ns_per_instr () in
+  let engine = `Superblock in
+  let ns = ns_per_instr ~engine () in
+  let engine = engine_name engine in
   let fig7_fast_s = timed (fun () -> ignore (Iot_scenario.run ~fast:true ())) in
   let campaign8_s =
     timed (fun () ->
@@ -1105,6 +1118,7 @@ let perf_measurements () =
   in
   let base =
     [
+      ("engine", Json.Str engine);
       ("ns_per_instr", Json.Str (Printf.sprintf "%.1f" ns));
       ("fig7_fast_s", Json.Str (Printf.sprintf "%.3f" fig7_fast_s));
       ("campaign8_s", Json.Str (Printf.sprintf "%.3f" campaign8_s));
@@ -1150,6 +1164,82 @@ let perf_json () =
                   | _ -> Fmt.epr "  %-16s %10s  (committed %s)@." k now ref_)
               | _ -> ())
             cur)
+
+(* `bench -- perf [--engine E] [--compare]`: the tight-loop ns/instr
+   measurement, parameterized by back-end.  --compare prints all three
+   engines with ratios against the slowest, so BENCH_core.json rolls
+   need no manual before/after bookkeeping. *)
+let perf_cmd args =
+  let rec parse engine compare = function
+    | [] -> (engine, compare)
+    | "--compare" :: rest -> parse engine true rest
+    | "--engine" :: e :: rest -> (
+        match engine_of_name e with
+        | Some eng -> parse (Some eng) compare rest
+        | None ->
+            Fmt.epr "perf: unknown engine %s (legacy|predecode|superblock)@." e;
+            exit 1)
+    | a :: _ ->
+        Fmt.epr "perf: unknown argument %s@." a;
+        Fmt.epr "usage: bench -- perf [--engine legacy|predecode|superblock] [--compare]@.";
+        exit 1
+  in
+  let engine, compare = parse None false args in
+  if compare then begin
+    section "ns/instr on the tight loop, by engine";
+    let engines = [ `Legacy; `Predecode; `Superblock ] in
+    let results = List.map (fun e -> (e, ns_per_instr ~engine:e ())) engines in
+    let _, slowest = List.hd results in
+    List.iter
+      (fun (e, ns) ->
+        Fmt.pr "  %-12s %6.1f ns/instr   %5.2fx vs legacy@." (engine_name e) ns
+          (slowest /. ns))
+      results;
+    match
+      ( List.assoc_opt `Predecode results,
+        List.assoc_opt `Superblock results )
+    with
+    | Some p, Some s when s > 0. ->
+        Fmt.pr "  superblock is %.2fx vs predecode@." (p /. s)
+    | _ -> ()
+  end
+  else begin
+    let e = match engine with Some e -> e | None -> `Superblock in
+    Fmt.pr "%s: %.1f ns/instr@." (engine_name e) (ns_per_instr ~engine:e ())
+  end
+
+(* `bench -- perf-gate`: CI regression gate.  Fails unless the
+   superblock engine beats predecode on the tight loop by at least
+   PERF_GATE_MIN_RATIO (default 1.5; override for slow or noisy CI
+   hosts).  Best-of-3 per engine to shrug off scheduler noise. *)
+let perf_gate_cmd _args =
+  let min_ratio =
+    match Sys.getenv_opt "PERF_GATE_MIN_RATIO" with
+    | None -> 1.5
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some r when r > 0. -> r
+        | _ ->
+            Fmt.epr "perf-gate: bad PERF_GATE_MIN_RATIO %S@." s;
+            exit 1)
+  in
+  let best engine =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      m := Float.min !m (ns_per_instr ~engine ())
+    done;
+    !m
+  in
+  let pre = best `Predecode in
+  let sup = best `Superblock in
+  let ratio = pre /. sup in
+  Fmt.pr "perf-gate: predecode %.1f ns/instr, superblock %.1f ns/instr, ratio %.2fx (min %.2fx)@."
+    pre sup ratio min_ratio;
+  if ratio < min_ratio then begin
+    Fmt.epr "perf-gate: FAIL — superblock is only %.2fx over predecode (need %.2fx)@."
+      ratio min_ratio;
+    exit 1
+  end
 
 let wallclock () =
   section "Bechamel wall-clock suite (host cost of each experiment unit)";
@@ -1226,6 +1316,14 @@ let subcommands : (string * string * (string list -> unit)) list =
        campaign scenario's input stream, re-run it under bit-exact \
        verification, or bisect two journals",
       replay_cmd );
+    ( "perf",
+      "perf [--engine legacy|predecode|superblock] [--compare]: tight-loop \
+       ns/instr for one engine, or a ratio table over all three",
+      perf_cmd );
+    ( "perf-gate",
+      "perf-gate: fail unless superblock beats predecode by \
+       PERF_GATE_MIN_RATIO (default 1.5x) on the tight loop",
+      perf_gate_cmd );
   ]
 
 let usage () =

@@ -1,4 +1,5 @@
 module Cap = Capability
+module Sb = Superblock
 
 (* Decode-once front-end: each segment lazily materializes an array of
    pre-decoded slots — the instruction plus its resolved absolute branch
@@ -6,30 +7,37 @@ module Cap = Capability
    one-entry branch cache with a plain array index.  [dec] is built on
    first execution and belongs to the segment: segments never unmap, and
    [map_segment] rejects overlap, so a slot's resolved target can never
-   go stale while the segment is mapped. *)
-type dslot = { d_ins : Isa.instr; d_target : int (* -1 = no label operand *) }
+   go stale while the segment is mapped.  [blk] is the superblock cache:
+   one compiled block per possible entry slot, also lazy.  Both are pure
+   caches of the immutable program (block closures re-validate anything
+   mutable through the filter epoch), so they stay valid across snapshot
+   restore. *)
+type dslot = Sb.dslot = { d_ins : Isa.instr; d_target : int }
 
 type segment = {
   seg_base : int;
   prog : Isa.program;
   mutable dec : dslot array option;
+  mutable blk : Sb.block option array option;
 }
+
+type engine = [ `Legacy | `Predecode | `Superblock ]
 
 type t = {
   machine : Machine.t;
-  predecode : bool;  (* false = legacy per-step decode (equivalence oracle) *)
+  engine : engine;
   mutable segments : segment list;
   mutable last_seg : segment option;  (* one-entry fetch cache *)
   mutable br_pc : int;  (* legacy one-entry branch-target cache: pc ... *)
   mutable br_target : int;  (* ... -> resolved absolute target *)
-  regs : Cap.t array;
-  specials : Cap.t array;
-  mutable instret : int;
+  sb : Sb.ctx;  (* register file, specials, instret — shared by all engines *)
 }
 
-type trap_cause = Cap_fault of Cap.violation | Software of string
+type trap_cause = Sb.trap_cause =
+  | Cap_fault of Cap.violation
+  | Software of string
 
-type trap = { tcause : trap_cause; tpc : int }
+type trap = Sb.trap = { tcause : trap_cause; tpc : int }
 
 let pp_trap ppf t =
   let cause =
@@ -41,39 +49,39 @@ let pp_trap ppf t =
 
 type outcome = Halted | Exited of Cap.t | Trapped of trap
 
-exception Trap_exn of trap
+exception Trap_exn = Sb.Trap_exn
 
-let create ?(predecode = true) machine =
+let create ?(engine = `Superblock) machine =
   let t =
     {
       machine;
-      predecode;
+      engine;
       segments = [];
       last_seg = None;
       br_pc = -1;
       br_target = 0;
-      regs = Array.make 16 Cap.null;
-      specials = Array.make 3 Cap.null;
-      instret = 0;
+      sb = Sb.make_ctx machine;
     }
   in
   (* Register file, special registers, retired-instruction counter and
      the segment map are the interpreter's whole mutable surface; the
-     per-segment [dec] arrays are pure decode caches of immutable
-     programs, valid across restore (both predecode modes restore
-     identically). *)
+     per-segment [dec]/[blk] arrays are pure caches of immutable
+     programs (all engines restore identically: compiled blocks
+     re-validate their memoized filter checks because [Memory]'s
+     restore bumps the filter epoch). *)
   Machine.on_snapshot machine (fun () ->
-      let regs = Array.copy t.regs in
-      let specials = Array.copy t.specials in
-      let instret = t.instret in
+      let sb = t.sb in
+      let regs = Array.copy sb.Sb.sregs in
+      let specials = Array.copy sb.Sb.sspec in
+      let instret = sb.Sb.sinstret in
       let segments = t.segments in
       let last_seg = t.last_seg in
       let br_pc = t.br_pc in
       let br_target = t.br_target in
       fun () ->
-        Array.blit regs 0 t.regs 0 (Array.length regs);
-        Array.blit specials 0 t.specials 0 (Array.length specials);
-        t.instret <- instret;
+        Array.blit regs 0 sb.Sb.sregs 0 (Array.length regs);
+        Array.blit specials 0 sb.Sb.sspec 0 (Array.length specials);
+        sb.Sb.sinstret <- instret;
         t.segments <- segments;
         t.last_seg <- last_seg;
         t.br_pc <- br_pc;
@@ -81,7 +89,7 @@ let create ?(predecode = true) machine =
   t
 
 let machine t = t.machine
-let predecode t = t.predecode
+let engine t = t.engine
 
 let seg_end s = s.seg_base + Isa.code_bytes s.prog
 
@@ -92,7 +100,7 @@ let map_segment t ~base prog =
       if base < seg_end s && base + Isa.code_bytes prog > s.seg_base then
         invalid_arg "map_segment: overlap")
     t.segments;
-  t.segments <- { seg_base = base; prog; dec = None } :: t.segments;
+  t.segments <- { seg_base = base; prog; dec = None; blk = None } :: t.segments;
   t.last_seg <- None
 
 let segment_base t name =
@@ -100,10 +108,10 @@ let segment_base t name =
   | Some s -> s.seg_base
   | None -> invalid_arg ("segment_base: " ^ name)
 
-let regs t = t.regs
-let get_special t i = t.specials.(i)
-let set_special t i c = t.specials.(i) <- c
-let instret t = t.instret
+let regs t = t.sb.Sb.sregs
+let get_special t i = t.sb.Sb.sspec.(i)
+let set_special t i c = t.sb.Sb.sspec.(i) <- c
+let instret t = t.sb.Sb.sinstret
 let int_value v = Cap.with_address_unsealed Cap.null v
 let to_int c = Cap.address c
 
@@ -119,34 +127,13 @@ let find_segment t addr =
       (match r with Some _ -> t.last_seg <- r | None -> ());
       r
 
-let get t r = if r = 0 then Cap.null else t.regs.(r)
-let set t r v = if r <> 0 then t.regs.(r) <- v
+let get t r = if r = 0 then Cap.null else t.sb.Sb.sregs.(r)
+let set t r v = if r <> 0 then t.sb.Sb.sregs.(r) <- v
 
 let trap pc cause = raise (Trap_exn { tcause = cause; tpc = pc })
 let cap_result pc = function Ok c -> c | Error v -> trap pc (Cap_fault v)
 
-(* Sentry semantics shared by Cjalr and the external entry point: unseal
-   sentries, apply interrupt-posture changes, and compute the backward
-   sentry kind that restores the previous posture. *)
-let apply_jump_target machine pc target =
-  let module O = Cap.Otype in
-  if not (Cap.tag target) then trap pc (Cap_fault Cap.Tag_violation);
-  let prev = Machine.irq_enabled machine in
-  let unsealed =
-    match Cap.otype target with
-    | O.Unsealed -> target
-    | O.Data _ -> trap pc (Cap_fault Cap.Seal_violation)
-    | O.Sentry k ->
-        (match k with
-        | O.Call_inherit -> ()
-        | O.Call_disable | O.Return_disable -> Machine.set_irq_enabled machine false
-        | O.Call_enable | O.Return_enable -> Machine.set_irq_enabled machine true);
-        cap_result pc (Cap.unseal_sentry target)
-  in
-  if not (Cap.has_perm Perm.Execute unsealed) then
-    trap pc (Cap_fault (Cap.Permit_violation Perm.Execute));
-  let back_kind = if prev then O.Return_enable else O.Return_disable in
-  (unsealed, back_kind)
+let apply_jump_target = Sb.apply_jump_target
 
 (* Resolve a branch label to an absolute target.  A given pc always
    resolves the same label to the same address (segments never unmap and
@@ -204,9 +191,10 @@ let step t pcc =
      word index needs no further bounds check. *)
   let ins = Isa.instr_at seg.prog ((pc - seg.seg_base) / 4) in
   Machine.tick t.machine Cost.instr;
-  t.instret <- t.instret + 1;
-  if t.instret land 1023 = 0 && Machine.tracing t.machine then
-    Machine.emit t.machine (Obs.Instr_sample { instret = t.instret });
+  let sb = t.sb in
+  sb.Sb.sinstret <- sb.Sb.sinstret + 1;
+  if sb.Sb.sinstret land 1023 = 0 && Machine.tracing t.machine then
+    Machine.emit t.machine (Obs.Instr_sample { instret = sb.Sb.sinstret });
   let m = t.machine in
   (* check_access above rejects sealed pcc, so cursor moves are safe. *)
   let next = Cap.with_address_unsealed pcc (pc + 4) in
@@ -311,7 +299,7 @@ let step t pcc =
       set t rd (cap_result pc (Cap.seal_entry (get t a) kind));
       `Next next
   | Isa.Auipcc (rd, l) ->
-      let addr = seg.seg_base + 4 * Isa.label_index seg.prog l in
+      let addr = seg.seg_base + (4 * Isa.label_index seg.prog l) in
       set t rd (cap_result pc (Cap.with_address pcc addr));
       `Next next
   | Isa.Cjalr (rd, rs) ->
@@ -334,8 +322,8 @@ let step t pcc =
   | Isa.Cspecialrw (rd, idx, rs) ->
       if not (Cap.has_perm Perm.System_registers pcc) then
         trap pc (Cap_fault (Cap.Permit_violation Perm.System_registers));
-      let old = t.specials.(idx) in
-      if rs <> 0 then t.specials.(idx) <- get t rs;
+      let old = t.sb.Sb.sspec.(idx) in
+      if rs <> 0 then t.sb.Sb.sspec.(idx) <- get t rs;
       set t rd old;
       `Next next
   | Isa.Ccleartag (rd, a) ->
@@ -351,16 +339,23 @@ let step t pcc =
    pcc's bounds?  On either miss the engine falls back to the exact
    legacy checks so fault causes, ordering and PCs stay bit-identical.
    The pc is threaded as a plain int; a capability is only materialized
-   where the legacy path observed one (links, Auipcc, jumps). *)
-let run_fast t fuel pcc0 seg0 =
+   where the legacy path observed one (links, Auipcc, jumps).
+
+   [run_epoch] executes exactly one epoch and reports how it ended: an
+   [outcome], or a control transfer to a new pcc ([`Epoch]) which the
+   caller continues — either [run_fast]'s trampoline (the complete PR 5
+   engine) or the superblock dispatcher's side-exit path, which borrows
+   this engine verbatim whenever a block's preconditions fail. *)
+let run_epoch t pcc0 seg0 pc00 budget0 =
   let m = t.machine in
+  let sb = t.sb in
   let rec epoch pcc seg pc budget =
     let dec = materialize seg in
     let sbase = seg.seg_base and send = seg_end seg in
     let clo = Cap.base pcc and chi = Cap.top pcc in
     let rec go pc budget =
       if budget <= 0 then
-        Trapped { tcause = Software "out of fuel"; tpc = pc }
+        `Out (Trapped { tcause = Software "out of fuel"; tpc = pc })
       else if pc < sbase || pc >= send then
         (* Fell off the segment (or branched out of it): mirror the
            legacy per-step order — segment lookup first, pcc bounds
@@ -378,11 +373,11 @@ let run_fast t fuel pcc0 seg0 =
     and exec pc budget =
       let slot = Array.unsafe_get dec ((pc - sbase) lsr 2) in
       Machine.tick m Cost.instr;
-      t.instret <- t.instret + 1;
-      if t.instret land 1023 = 0 && Machine.tracing m then
-        Machine.emit m (Obs.Instr_sample { instret = t.instret });
+      sb.Sb.sinstret <- sb.Sb.sinstret + 1;
+      if sb.Sb.sinstret land 1023 = 0 && Machine.tracing m then
+        Machine.emit m (Obs.Instr_sample { instret = sb.Sb.sinstret });
       match slot.d_ins with
-      | Isa.Halt -> Halted
+      | Isa.Halt -> `Out Halted
       | Isa.Li (rd, v) ->
           set t rd (int_value v);
           go (pc + 4) (budget - 1)
@@ -515,8 +510,8 @@ let run_fast t fuel pcc0 seg0 =
           end;
           let pc' = Cap.address unsealed in
           (match find_segment t pc' with
-          | None -> Exited unsealed
-          | Some s' -> epoch unsealed s' pc' (budget - 1))
+          | None -> `Out (Exited unsealed)
+          | Some s' -> `Epoch (unsealed, s', pc', budget - 1))
       | Isa.Cjal (rd, _) ->
           if rd <> 0 then begin
             let kind =
@@ -530,8 +525,8 @@ let run_fast t fuel pcc0 seg0 =
       | Isa.Cspecialrw (rd, idx, rs) ->
           if not (Cap.has_perm Perm.System_registers pcc) then
             trap pc (Cap_fault (Cap.Permit_violation Perm.System_registers));
-          let old = t.specials.(idx) in
-          if rs <> 0 then t.specials.(idx) <- get t rs;
+          let old = sb.Sb.sspec.(idx) in
+          if rs <> 0 then sb.Sb.sspec.(idx) <- get t rs;
           set t rd old;
           go (pc + 4) (budget - 1)
       | Isa.Ccleartag (rd, a) ->
@@ -541,7 +536,136 @@ let run_fast t fuel pcc0 seg0 =
     in
     go pc budget
   in
-  epoch pcc0 seg0 (Cap.address pcc0) fuel
+  epoch pcc0 seg0 pc00 budget0
+
+let run_fast t fuel pcc0 seg0 =
+  let rec drive pcc seg pc budget =
+    match run_epoch t pcc seg pc budget with
+    | `Out o -> o
+    | `Epoch (pcc', seg', pc', budget') -> drive pcc' seg' pc' budget'
+  in
+  drive pcc0 seg0 (Cap.address pcc0) fuel
+
+(* The superblock dispatcher.  Per epoch it caches the pcc's bounds;
+   per block entry it validates the hoisted preconditions — pc inside
+   the segment and the pcc bounds for the whole block, enough fuel to
+   retire every instruction, and a compilable block — then runs the
+   fused closure, deferring tick batching when the block's worst-case
+   cost fits under the event horizon.  Any precondition failure
+   side-exits into [run_epoch], the exact per-instruction engine, for
+   the remainder of the epoch, so fuel traps, mid-block faults and
+   pathological register indices behave bit-identically to PR 5. *)
+let run_super t fuel pcc0 seg0 =
+  let m = t.machine in
+  let sb = t.sb in
+  (* [pend] is the deferred-cycle batch carried across block boundaries
+     (-1 = nothing pending).  It is flushed at every point where the
+     clock becomes observable: a side-exit, a non-deferred block entry,
+     a fuel trap, or the end of the run. *)
+  let[@inline] pflush pend = if pend > 0 then Machine.tick m pend in
+  let rec epoch pcc seg pc budget pend =
+    let dec = materialize seg in
+    let blk =
+      match seg.blk with
+      | Some b -> b
+      | None ->
+          let b = Array.make (Array.length dec) None in
+          seg.blk <- Some b;
+          b
+    in
+    let sbase = seg.seg_base and send = seg_end seg in
+    let clo = Cap.base pcc and chi = Cap.top pcc in
+    let rec blocks pc budget pend =
+      if budget <= 0 then begin
+        pflush pend;
+        Trapped { tcause = Software "out of fuel"; tpc = pc }
+      end
+      else if pc < sbase || pc >= send then
+        match find_segment t pc with
+        | None ->
+            pflush pend;
+            trap pc (Cap_fault Cap.Bounds_violation)
+        | Some s' -> epoch pcc s' pc budget pend
+      else begin
+        let idx = (pc - sbase) lsr 2 in
+        let b =
+          match Array.unsafe_get blk idx with
+          | Some b -> b
+          | None ->
+              let b = Sb.compile sb dec ~base:sbase ~idx in
+              Array.unsafe_set blk idx (Some b);
+              b
+        in
+        let len = b.Sb.b_len in
+        if len = 0 || pc < clo || pc + (4 * len) > chi || budget < len then begin
+          (* Side-exit: finish the epoch on the exact per-instruction
+             engine, then resume block dispatch at the next epoch. *)
+          pflush pend;
+          match run_epoch t pcc seg pc budget with
+          | `Out o -> o
+          | `Epoch (pcc', seg', pc', budget') -> epoch pcc' seg' pc' budget' (-1)
+        end
+        else begin
+          let p0 = if pend >= 0 then pend else 0 in
+          if
+            (not (Machine.tracing m))
+            && Machine.defer_window m (p0 + b.Sb.b_maxcost)
+          then
+            if b.Sb.b_self then begin
+              (* Tight loop: the compiled closure spins on itself for up
+                 to [sspins] extra trips (bounded by the remaining fuel),
+                 re-checking the horizon against the growing batch every
+                 trip; it hands back how many trips it did not use. *)
+              let spins0 = (budget / len) - 1 in
+              sb.Sb.sspins <- spins0;
+              let e = b.Sb.b_run pcc p0 in
+              let used = (spins0 - sb.Sb.sspins + 1) * len in
+              finish e (budget - used) sb.Sb.sret_acc
+            end
+            else begin
+              (* Re-enter a block that branches back to itself without
+                 re-deriving the preconditions that cannot have changed —
+                 the pcc bounds and the compiled block itself.  Fuel,
+                 tracing and the event horizon (against the carried
+                 batch) are re-checked every trip: a cache-miss path
+                 inside the block ticks for real and can fire events. *)
+              let rec spin e budget =
+                let pend = sb.Sb.sret_acc in
+                if e = pc && budget >= len && not (Machine.tracing m) then begin
+                  let p0 = if pend >= 0 then pend else 0 in
+                  if Machine.defer_window m (p0 + b.Sb.b_maxcost) then
+                    spin (b.Sb.b_run pcc p0) (budget - len)
+                  else finish e budget pend
+                end
+                else finish e budget pend
+              in
+              spin (b.Sb.b_run pcc p0) (budget - len)
+            end
+          else begin
+            pflush pend;
+            let e = b.Sb.b_run pcc (-1) in
+            finish e (budget - len) sb.Sb.sret_acc
+          end
+        end
+      end
+    and finish e budget pend =
+      if e >= 0 then blocks e budget pend
+      else if e = Sb.x_halt then begin
+        pflush pend;
+        Halted
+      end
+      else begin
+        (* Cjalr flushed before the posture change, so [pend] is -1. *)
+        let target = sb.Sb.sjump in
+        let pc' = Cap.address target in
+        match find_segment t pc' with
+        | None -> Exited target
+        | Some s' -> epoch target s' pc' budget pend
+      end
+    in
+    blocks pc budget pend
+  in
+  epoch pcc0 seg0 (Cap.address pcc0) fuel (-1)
 
 let run ?(fuel = 1_000_000) t target =
   let rec loop pcc budget =
@@ -560,8 +684,11 @@ let run ?(fuel = 1_000_000) t target =
     let unsealed, _ = apply_jump_target t.machine (Cap.address target) target in
     match find_segment t (Cap.address unsealed) with
     | None -> Exited unsealed
-    | Some seg ->
-        if t.predecode then run_fast t fuel unsealed seg else loop unsealed fuel
+    | Some seg -> (
+        match t.engine with
+        | `Superblock -> run_super t fuel unsealed seg
+        | `Predecode -> run_fast t fuel unsealed seg
+        | `Legacy -> loop unsealed fuel)
   with
   | Trap_exn tr -> Trapped tr
   | Memory.Fault f ->

@@ -13,19 +13,31 @@
 
 type t
 
-val create : ?predecode:bool -> Machine.t -> t
-(** [predecode] (default [true]) selects the decode-once front-end: each
-    segment lazily materializes an array of pre-decoded instructions with
-    branch labels resolved to absolute targets, and execution threads a
-    plain integer PC between control transfers.  [~predecode:false] keeps
-    the original per-step fetch/decode path; both are observationally
-    identical (registers, cycles, traps, trace events) and the equivalence
-    is pinned by the [test_interp_equiv] QCheck suite. *)
+type engine = [ `Legacy | `Predecode | `Superblock ]
+(** The three execution back-ends, from slowest to fastest:
+    - [`Legacy]: per-step fetch/decode (the original engine, kept as
+      the equivalence oracle);
+    - [`Predecode]: decode-once front-end — each segment lazily
+      materializes an array of pre-decoded instructions with branch
+      labels resolved to absolute targets, and execution threads a
+      plain integer PC between control transfers;
+    - [`Superblock]: additionally compiles each straight-line run into
+      a fused closure ({!Superblock}) with bounds checks hoisted to
+      block entry, memoized load-filter checks and tick batching under
+      the event horizon, side-exiting to the [`Predecode] engine
+      whenever a block precondition fails.
+
+    All three are observationally identical (registers, cycles,
+    instret, traps, trace events); the equivalence is pinned by the
+    three-way [test_interp_equiv] QCheck matrix. *)
+
+val create : ?engine:engine -> Machine.t -> t
+(** [engine] defaults to [`Superblock]. *)
 
 val machine : t -> Machine.t
 
-val predecode : t -> bool
-(** Whether this interpreter uses the pre-decoded front-end. *)
+val engine : t -> engine
+(** Which execution back-end this interpreter uses. *)
 
 val map_segment : t -> base:int -> Isa.program -> unit
 (** Map a program at [base] (4 bytes per instruction).  Overlap is a

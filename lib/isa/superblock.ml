@@ -1,0 +1,790 @@
+module Cap = Capability
+
+(* Superblock compiler: the third interpreter back-end.
+
+   A superblock is the straight-line run from a jump target (or branch
+   fall-through) to the next control-flow instruction, inclusive.  On
+   first execution the pre-decoded slots of that run are compiled into a
+   single fused OCaml closure chain — one closure per instruction, each
+   tail-calling the next — so the per-step dispatch, segment-range and
+   PCC-bounds checks disappear from the hot path: the dispatcher in
+   [Interp] validates the whole block's preconditions once at entry and
+   either runs the fused closure or side-exits to the exact per-
+   instruction engine.
+
+   Equivalence contract (every rule here exists to keep registers,
+   cycles, instret, trap cause + PC and the Obs event stream bit-
+   identical to the legacy engine):
+
+   - Per-run state (pcc, pending deferred cycles) is threaded through
+     the closure chain as ARGUMENTS, never stored in [ctx].  A tick can
+     suspend the whole run via the kernel's preemption effect and
+     re-enter the interpreter for another thread; argument threading
+     keeps each run's state in its own captured continuation.
+
+   - Deferred tick batching ([acc] >= 0) is only entered when the whole
+     block's worst-case cost fits strictly below the machine's event
+     horizon ([Machine.defer_window]): then every elided tick would have
+     taken the fast path (no listener, timer or IRQ delivery), nothing
+     can observe the clock mid-block, and one batched tick at the
+     terminator is exact.  [acc] = -1 means "not deferring": every
+     charge ticks immediately, which is the legacy behaviour instruction
+     for instruction (and the only mode in which preemption, tracing
+     samples or fault-injection listeners can fire mid-block).
+
+   - Every raise out of a compiled closure flushes pending cycles first,
+     so a trapping block leaves the clock exactly where the legacy
+     engine would.
+
+   - Anything with an observer flushes before it runs and disables
+     deferral after: MMIO device access (devices read the clock and
+     raise IRQs), [store_cap] (the tag-set hook settles the revoker
+     against the live clock).
+
+   - The memoized load-filter caches (one per Lw/Sw slot) are valid iff
+     the authorising capability is physically unchanged ([==] on the
+     immutable record) and [Memory.filter_epoch] is unchanged; the epoch
+     bumps on every revocation-bit edit, load-filter toggle and snapshot
+     restore, so a hit implies the full capability + alignment + filter
+     check chain would succeed with the same outcome as at fill time. *)
+
+type dslot = { d_ins : Isa.instr; d_target : int (* -1 = no label operand *) }
+
+type trap_cause = Cap_fault of Cap.violation | Software of string
+
+type trap = { tcause : trap_cause; tpc : int }
+
+exception Trap_exn of trap
+
+(* Shared execution state: the register file and counters every engine
+   reads and writes in place.  [sjump] carries a Cjalr target from the
+   terminator closure to the dispatcher, and [sret_acc] the pending
+   deferred-cycle batch that a pure-control terminator hands back
+   instead of flushing (each written and read back-to-back with no tick
+   in between, so a preempting run cannot clobber them).  Carrying the
+   batch across blocks lets a tight loop make many trips on a single
+   flush; the dispatcher re-validates [Machine.defer_window] against
+   the carried batch plus the next block's worst case before every
+   entry, so the eventual flush still lands strictly below the event
+   horizon. *)
+type ctx = {
+  sm : Machine.t;
+  smem : Memory.t;
+  sregs : Cap.t array;
+  sspec : Cap.t array;
+  mutable sinstret : int;
+  mutable sjump : Cap.t;
+  mutable sret_acc : int;
+  mutable sspins : int;
+}
+
+let make_ctx machine =
+  {
+    sm = machine;
+    smem = Machine.mem machine;
+    sregs = Array.make 16 Cap.null;
+    sspec = Array.make 3 Cap.null;
+    sinstret = 0;
+    sjump = Cap.null;
+    sret_acc = -1;
+    sspins = 0;
+  }
+
+(* Block exits, encoded as ints so the hot path never allocates: a
+   non-negative value is the next pc (fall-through or branch target);
+   [x_halt] is Halt; [x_jump] is a Cjalr whose unsealed target is in
+   [ctx.sjump]. *)
+let x_halt = -1
+let x_jump = -2
+
+type block = {
+  b_len : int;  (* instructions in the block; 0 = uncompilable, side-exit *)
+  b_maxcost : int;  (* worst-case cycles: the defer_window precondition *)
+  b_self : bool;  (* terminator's taken target is the block's own entry *)
+  b_run : Cap.t -> int -> int;  (* pcc -> acc -> exit *)
+}
+
+let trap pc cause = raise (Trap_exn { tcause = cause; tpc = pc })
+let cap_result pc = function Ok c -> c | Error v -> trap pc (Cap_fault v)
+
+(* Sentry semantics shared by Cjalr and the external entry point: unseal
+   sentries, apply interrupt-posture changes, and compute the backward
+   sentry kind that restores the previous posture. *)
+let apply_jump_target machine pc target =
+  let module O = Cap.Otype in
+  if not (Cap.tag target) then trap pc (Cap_fault Cap.Tag_violation);
+  let prev = Machine.irq_enabled machine in
+  let unsealed =
+    match Cap.otype target with
+    | O.Unsealed -> target
+    | O.Data _ -> trap pc (Cap_fault Cap.Seal_violation)
+    | O.Sentry k ->
+        (match k with
+        | O.Call_inherit -> ()
+        | O.Call_disable | O.Return_disable -> Machine.set_irq_enabled machine false
+        | O.Call_enable | O.Return_enable -> Machine.set_irq_enabled machine true);
+        cap_result pc (Cap.unseal_sentry target)
+  in
+  if not (Cap.has_perm Perm.Execute unsealed) then
+    trap pc (Cap_fault (Cap.Permit_violation Perm.Execute));
+  let back_kind = if prev then O.Return_enable else O.Return_disable in
+  (unsealed, back_kind)
+
+let int_value v = Cap.with_address_unsealed Cap.null v
+
+(* Initial value of the memoized-authority caches.  It must be a private
+   allocation: the cache-hit test is physical equality against register
+   contents, and registers commonly hold [Cap.null] itself — a shared
+   immutable record that would otherwise match an empty cache and skip
+   the capability check a NULL authority must fail. *)
+let uncached : Cap.t = Cap.with_address_unsealed Cap.null 0
+
+(* acc discipline helpers.  [flushx] settles pending deferred cycles;
+   the batch is below the horizon by the block precondition, so the tick
+   takes the fast path and nothing fires inside it. *)
+let[@inline] flushx m acc = if acc > 0 then Machine.tick m acc
+
+let[@inline] charge m acc n =
+  if acc >= 0 then acc + n
+  else begin
+    Machine.tick m n;
+    -1
+  end
+
+(* Retire one instruction: charge Cost.instr, bump instret, and emit the
+   periodic trace sample.  Tick-before-increment mirrors the legacy
+   order exactly — a preemption inside the tick can retire other
+   instructions, and the sample boundary must see the post-preemption
+   count.  Under deferral no preemption or tracing is possible, so the
+   inverted order is unobservable there. *)
+let[@inline] retire ctx acc =
+  if acc >= 0 then begin
+    (* Deferred: tracing was off at block entry and no tick runs that
+       could turn it on, so the sample check cannot fire — skip it. *)
+    ctx.sinstret <- ctx.sinstret + 1;
+    acc + Cost.instr
+  end
+  else begin
+    Machine.tick ctx.sm Cost.instr;
+    let n = ctx.sinstret + 1 in
+    ctx.sinstret <- n;
+    if n land 1023 = 0 && Machine.tracing ctx.sm then
+      Machine.emit ctx.sm (Obs.Instr_sample { instret = n });
+    -1
+  end
+
+let[@inline] uget regs r = if r = 0 then Cap.null else Array.unsafe_get regs r
+let[@inline] uset regs r v = if r <> 0 then Array.unsafe_set regs r v
+
+(* Flush-then-raise: a trap must leave the clock where the legacy engine
+   would, so pending deferred cycles are settled before the raise. *)
+let trapfx m acc pc cause =
+  flushx m acc;
+  raise (Trap_exn { tcause = cause; tpc = pc })
+
+let capfx m acc pc = function
+  | Ok c -> c
+  | Error v -> trapfx m acc pc (Cap_fault v)
+
+let is_terminator = function
+  | Isa.Beq _ | Isa.Bne _ | Isa.Bltu _ | Isa.Bgeu _ | Isa.J _ | Isa.Cjal _
+  | Isa.Cjalr _ | Isa.Halt | Isa.Trapif _ ->
+      true
+  | _ -> false
+
+(* Worst-case cycle cost of one instruction, for the defer_window
+   precondition (mem_cap = mmio = 3 dominates mem_word). *)
+let instr_maxcost = function
+  | Isa.Lw _ | Isa.Sw _ | Isa.Clc _ | Isa.Csc _ -> Cost.instr + Cost.mem_cap
+  | _ -> Cost.instr
+
+(* An instruction whose register operands fall outside the 16-entry file
+   cannot use the unsafe accessors; such blocks are left uncompiled and
+   the dispatcher side-exits to the per-instruction engine, which
+   preserves the legacy out-of-range behaviour exactly. *)
+exception Unsupported
+
+let okr r = r >= 0 && r < 16
+
+let compile ctx dec ~base ~idx =
+  let m = ctx.sm and mem = ctx.smem and regs = ctx.sregs in
+  let n = Array.length dec in
+  let stop =
+    let rec f j = if j >= n then n else if is_terminator dec.(j).d_ins then j else f (j + 1) in
+    f idx
+  in
+  let last = if stop >= n then n - 1 else stop in
+  let maxcost = ref 0 in
+  for j = idx to last do
+    maxcost := !maxcost + instr_maxcost dec.(j).d_ins
+  done;
+  let mc = !maxcost in
+  (* Self-loop support: when the terminator's taken target is this
+     block's own entry, the terminator re-enters the chain head directly
+     (knot tied through [head]) for up to [ctx.sspins] extra trips, each
+     trip re-checking the event horizon against the accumulated batch.
+     Deferred execution is atomic — every tick inside it is below the
+     horizon, so it takes the fast path and cannot run effects — which
+     is what makes the [sspins] counter and the skipped tracing recheck
+     sound: nothing can preempt or toggle tracing mid-spin. *)
+  let entry = base + (4 * idx) in
+  let head = ref (fun (_ : Cap.t) (_ : int) -> x_halt) in
+  let self = ref false in
+  let rec build j : Cap.t -> int -> int =
+    if j > last then
+      (* No terminator before the segment end: fall off; the dispatcher
+         re-checks segment and bounds at the returned pc, exactly as the
+         per-instruction engine would on its next step. *)
+      let fall = base + (4 * j) in
+      fun _pcc acc ->
+        ctx.sret_acc <- acc;
+        fall
+    else begin
+      let slot = Array.unsafe_get dec j in
+      let pc = base + (4 * j) in
+      match slot.d_ins with
+      (* --- straight-line instructions: call the continuation --- *)
+      | Isa.Li (rd, v) ->
+          if not (okr rd) then raise Unsupported;
+          let k = build (j + 1) in
+          let c = int_value v in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd c;
+            k pcc acc
+      | Isa.Mv (rd, rs) ->
+          if not (okr rd && okr rs) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (uget regs rs);
+            k pcc acc
+      | Isa.Addi (rd, rs, v) ->
+          if not (okr rd && okr rs) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (Cap.address (uget regs rs) + v));
+            k pcc acc
+      | Isa.Add (rd, a, b) ->
+          if not (okr rd && okr a && okr b) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (int_value (Cap.address (uget regs a) + Cap.address (uget regs b)));
+            k pcc acc
+      | Isa.Sub (rd, a, b) ->
+          if not (okr rd && okr a && okr b) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (int_value (Cap.address (uget regs a) - Cap.address (uget regs b)));
+            k pcc acc
+      | Isa.Andi (rd, rs, v) ->
+          if not (okr rd && okr rs) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (Cap.address (uget regs rs) land v));
+            k pcc acc
+      | Isa.Lw (rd, imm, rs) ->
+          if not (okr rd && okr rs) then raise Unsupported;
+          let c_auth = ref uncached and c_ep = ref (-1) and c_off = ref 0 in
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let auth = uget regs rs in
+            if acc >= 0 && auth == !c_auth && Memory.filter_epoch mem = !c_ep
+            then begin
+              (* Deferred cache hit: same physical capability => the
+                 same address, and same filter epoch => the full check
+                 chain has the same (passing) outcome as at fill time;
+                 go straight to the raw word at the cached offset, with
+                 retire and charge fused into one batched add. *)
+              ctx.sinstret <- ctx.sinstret + 1;
+              uset regs rd (int_value (Memory.load32_off mem !c_off));
+              k pcc (acc + (Cost.instr + Cost.mem_word))
+            end
+            else begin
+            let acc = retire ctx acc in
+            if auth == !c_auth then begin
+              (* Cached authority: [Machine.load]'s pre-tick capability
+                 check passed at fill time for this same physical
+                 capability, so it passes now.  Charge the memory cost
+                 first — a real tick here can run a listener or deliver
+                 an interrupt that edits revocation bits — then re-run
+                 the post-tick filter check exactly where the checked
+                 path runs it. *)
+              let acc = charge m acc Cost.mem_word in
+              if Memory.filter_epoch mem = !c_ep then begin
+                uset regs rd (int_value (Memory.load32_off mem !c_off));
+                k pcc acc
+              end
+              else begin
+                let addr = Cap.address auth + imm in
+                (try
+                   Memory.check_aligned_filtered mem ~auth ~addr ~size:4
+                     Memory.Read
+                 with e ->
+                   flushx m acc;
+                   raise e);
+                c_ep := Memory.filter_epoch mem;
+                uset regs rd (int_value (Memory.load32_off mem !c_off));
+                k pcc acc
+              end
+            end
+            else begin
+              let addr = Cap.address auth + imm in
+              if Machine.in_sram m addr then begin
+                let v =
+                  try Machine.load m ~auth ~addr ~size:4
+                  with e ->
+                    flushx m acc;
+                    raise e
+                in
+                c_auth := auth;
+                c_ep := Memory.filter_epoch mem;
+                c_off := Memory.word_offset mem addr;
+                uset regs rd (int_value v);
+                k pcc acc
+              end
+              else begin
+                (* MMIO (or unmapped): the device observes the clock and
+                   may raise IRQs — flush first, stop deferring after. *)
+                flushx m acc;
+                let v = Machine.load m ~auth ~addr ~size:4 in
+                uset regs rd (int_value v);
+                k pcc (-1)
+              end
+            end
+            end
+      | Isa.Sw (rs2, imm, rs1) ->
+          if not (okr rs2 && okr rs1) then raise Unsupported;
+          let c_auth = ref uncached and c_ep = ref (-1) and c_off = ref 0 in
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let auth = uget regs rs1 in
+            if acc >= 0 && auth == !c_auth && Memory.filter_epoch mem = !c_ep
+            then begin
+              ctx.sinstret <- ctx.sinstret + 1;
+              Memory.store32_off mem !c_off (Cap.address (uget regs rs2));
+              k pcc (acc + (Cost.instr + Cost.mem_word))
+            end
+            else begin
+            let acc = retire ctx acc in
+            if auth == !c_auth then begin
+              (* Same post-tick re-validation as the Lw path: charge,
+                 then re-check the filter epoch the tick may have
+                 moved. *)
+              let acc = charge m acc Cost.mem_word in
+              if Memory.filter_epoch mem = !c_ep then begin
+                Memory.store32_off mem !c_off (Cap.address (uget regs rs2));
+                k pcc acc
+              end
+              else begin
+                let addr = Cap.address auth + imm in
+                (try
+                   Memory.check_aligned_filtered mem ~auth ~addr ~size:4
+                     Memory.Write
+                 with e ->
+                   flushx m acc;
+                   raise e);
+                c_ep := Memory.filter_epoch mem;
+                Memory.store32_off mem !c_off (Cap.address (uget regs rs2));
+                k pcc acc
+              end
+            end
+            else begin
+              let addr = Cap.address auth + imm in
+              if Machine.in_sram m addr then begin
+                (try
+                   Machine.store m ~auth ~addr ~size:4 (Cap.address (uget regs rs2))
+                 with e ->
+                   flushx m acc;
+                   raise e);
+                c_auth := auth;
+                c_ep := Memory.filter_epoch mem;
+                c_off := Memory.word_offset mem addr;
+                k pcc acc
+              end
+              else begin
+                flushx m acc;
+                Machine.store m ~auth ~addr ~size:4 (Cap.address (uget regs rs2));
+                k pcc (-1)
+              end
+            end
+            end
+      | Isa.Clc (rd, imm, rs) ->
+          if not (okr rd && okr rs) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            let auth = uget regs rs in
+            let v =
+              try Machine.load_cap m ~auth ~addr:(Cap.address auth + imm)
+              with e ->
+                flushx m acc;
+                raise e
+            in
+            uset regs rd v;
+            k pcc acc
+      | Isa.Csc (rs2, imm, rs1) ->
+          if not (okr rs2 && okr rs1) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            (* The tag-set hook settles the revoker against the live
+               clock: flush first, stop deferring after. *)
+            flushx m acc;
+            let auth = uget regs rs1 in
+            Machine.store_cap m ~auth ~addr:(Cap.address auth + imm)
+              (uget regs rs2);
+            k pcc (-1)
+      | Isa.Cincaddr (rd, a, b) ->
+          if not (okr rd && okr a && okr b) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (capfx m acc pc
+                 (Cap.incr_address (uget regs a) (Cap.address (uget regs b))));
+            k pcc acc
+      | Isa.Cincaddrimm (rd, a, v) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (capfx m acc pc (Cap.incr_address (uget regs a) v));
+            k pcc acc
+      | Isa.Csetaddr (rd, a, b) ->
+          if not (okr rd && okr a && okr b) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (capfx m acc pc
+                 (Cap.with_address (uget regs a) (Cap.address (uget regs b))));
+            k pcc acc
+      | Isa.Csetbounds (rd, a, b) ->
+          if not (okr rd && okr a && okr b) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (capfx m acc pc
+                 (Cap.set_bounds (uget regs a)
+                    ~length:(Cap.address (uget regs b))));
+            k pcc acc
+      | Isa.Csetboundsimm (rd, a, v) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (capfx m acc pc (Cap.set_bounds (uget regs a) ~length:v));
+            k pcc acc
+      | Isa.Candperm (rd, a, mask) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          let pset = Perm.Set.of_bits mask in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (capfx m acc pc (Cap.and_perms (uget regs a) pset));
+            k pcc acc
+      | Isa.Cgetaddr (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (Cap.address (uget regs a)));
+            k pcc acc
+      | Isa.Cgetbase (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (Cap.base (uget regs a)));
+            k pcc acc
+      | Isa.Cgetlen (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (Cap.length (uget regs a)));
+            k pcc acc
+      | Isa.Cgettag (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (if Cap.tag (uget regs a) then 1 else 0));
+            k pcc acc
+      | Isa.Cgettype (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            let module O = Cap.Otype in
+            let v =
+              match Cap.otype (uget regs a) with
+              | O.Unsealed -> 0
+              | O.Sentry O.Call_inherit -> 1
+              | O.Sentry O.Call_disable -> 2
+              | O.Sentry O.Call_enable -> 3
+              | O.Sentry O.Return_disable -> 4
+              | O.Sentry O.Return_enable -> 5
+              | O.Data d -> d
+            in
+            uset regs rd (int_value v);
+            k pcc acc
+      | Isa.Cgetperm (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (int_value (Perm.Set.to_bits (Cap.perms (uget regs a))));
+            k pcc acc
+      | Isa.Cseal (rd, a, key) ->
+          if not (okr rd && okr a && okr key) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (capfx m acc pc (Cap.seal ~key:(uget regs key) (uget regs a)));
+            k pcc acc
+      | Isa.Cunseal (rd, a, key) ->
+          if not (okr rd && okr a && okr key) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd
+              (capfx m acc pc (Cap.unseal ~key:(uget regs key) (uget regs a)));
+            k pcc acc
+      | Isa.Csealentry (rd, a, kind) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (capfx m acc pc (Cap.seal_entry (uget regs a) kind));
+            k pcc acc
+      | Isa.Auipcc (rd, _) ->
+          if not (okr rd) then raise Unsupported;
+          let k = build (j + 1) in
+          let tgt = slot.d_target in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (capfx m acc pc (Cap.with_address pcc tgt));
+            k pcc acc
+      | Isa.Cspecialrw (rd, sidx, rs) ->
+          if not (okr rd && okr rs && sidx >= 0 && sidx < 3) then
+            raise Unsupported;
+          let k = build (j + 1) in
+          let spec = ctx.sspec in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            if not (Cap.has_perm Perm.System_registers pcc) then
+              trapfx m acc pc
+                (Cap_fault (Cap.Permit_violation Perm.System_registers));
+            let old = Array.unsafe_get spec sidx in
+            if rs <> 0 then Array.unsafe_set spec sidx (uget regs rs);
+            uset regs rd old;
+            k pcc acc
+      | Isa.Ccleartag (rd, a) ->
+          if not (okr rd && okr a) then raise Unsupported;
+          let k = build (j + 1) in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            uset regs rd (Cap.clear_tag (uget regs a));
+            k pcc acc
+      (* --- terminators: flush and return the exit --- *)
+      | Isa.Beq (a, b, _) ->
+          if not (okr a && okr b) then raise Unsupported;
+          let tpc = slot.d_target and fpc = pc + 4 in
+          if tpc = entry then begin
+            self := true;
+            fun pcc acc ->
+              let acc = retire ctx acc in
+              if Cap.address (uget regs a) = Cap.address (uget regs b) then
+                if
+                  acc >= 0 && ctx.sspins > 0
+                  && Machine.defer_window m (acc + mc)
+                then begin
+                  ctx.sspins <- ctx.sspins - 1;
+                  !head pcc acc
+                end
+                else begin
+                  ctx.sret_acc <- acc;
+                  tpc
+                end
+              else begin
+                ctx.sret_acc <- acc;
+                fpc
+              end
+          end
+          else
+            fun _pcc acc ->
+              let acc = retire ctx acc in
+              ctx.sret_acc <- acc;
+              if Cap.address (uget regs a) = Cap.address (uget regs b) then tpc
+              else fpc
+      | Isa.Bne (a, b, _) ->
+          if not (okr a && okr b) then raise Unsupported;
+          let tpc = slot.d_target and fpc = pc + 4 in
+          if tpc = entry then begin
+            self := true;
+            fun pcc acc ->
+              let acc = retire ctx acc in
+              if Cap.address (uget regs a) <> Cap.address (uget regs b) then
+                if
+                  acc >= 0 && ctx.sspins > 0
+                  && Machine.defer_window m (acc + mc)
+                then begin
+                  ctx.sspins <- ctx.sspins - 1;
+                  !head pcc acc
+                end
+                else begin
+                  ctx.sret_acc <- acc;
+                  tpc
+                end
+              else begin
+                ctx.sret_acc <- acc;
+                fpc
+              end
+          end
+          else
+            fun _pcc acc ->
+              let acc = retire ctx acc in
+              ctx.sret_acc <- acc;
+              if Cap.address (uget regs a) <> Cap.address (uget regs b) then tpc
+              else fpc
+      | Isa.Bltu (a, b, _) ->
+          if not (okr a && okr b) then raise Unsupported;
+          let tpc = slot.d_target and fpc = pc + 4 in
+          if tpc = entry then begin
+            self := true;
+            fun pcc acc ->
+              let acc = retire ctx acc in
+              if Cap.address (uget regs a) < Cap.address (uget regs b) then
+                if
+                  acc >= 0 && ctx.sspins > 0
+                  && Machine.defer_window m (acc + mc)
+                then begin
+                  ctx.sspins <- ctx.sspins - 1;
+                  !head pcc acc
+                end
+                else begin
+                  ctx.sret_acc <- acc;
+                  tpc
+                end
+              else begin
+                ctx.sret_acc <- acc;
+                fpc
+              end
+          end
+          else
+            fun _pcc acc ->
+              let acc = retire ctx acc in
+              ctx.sret_acc <- acc;
+              if Cap.address (uget regs a) < Cap.address (uget regs b) then tpc
+              else fpc
+      | Isa.Bgeu (a, b, _) ->
+          if not (okr a && okr b) then raise Unsupported;
+          let tpc = slot.d_target and fpc = pc + 4 in
+          if tpc = entry then begin
+            self := true;
+            fun pcc acc ->
+              let acc = retire ctx acc in
+              if Cap.address (uget regs a) >= Cap.address (uget regs b) then
+                if
+                  acc >= 0 && ctx.sspins > 0
+                  && Machine.defer_window m (acc + mc)
+                then begin
+                  ctx.sspins <- ctx.sspins - 1;
+                  !head pcc acc
+                end
+                else begin
+                  ctx.sret_acc <- acc;
+                  tpc
+                end
+              else begin
+                ctx.sret_acc <- acc;
+                fpc
+              end
+          end
+          else
+            fun _pcc acc ->
+              let acc = retire ctx acc in
+              ctx.sret_acc <- acc;
+              if Cap.address (uget regs a) >= Cap.address (uget regs b) then tpc
+              else fpc
+      | Isa.J _ ->
+          let tgt = slot.d_target in
+          if tgt = entry then begin
+            self := true;
+            fun pcc acc ->
+              let acc = retire ctx acc in
+              if
+                acc >= 0 && ctx.sspins > 0
+                && Machine.defer_window m (acc + mc)
+              then begin
+                ctx.sspins <- ctx.sspins - 1;
+                !head pcc acc
+              end
+              else begin
+                ctx.sret_acc <- acc;
+                tgt
+              end
+          end
+          else
+            fun _pcc acc ->
+              let acc = retire ctx acc in
+              ctx.sret_acc <- acc;
+              tgt
+      | Isa.Cjal (rd, _) ->
+          if not (okr rd) then raise Unsupported;
+          let tgt = slot.d_target in
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            ctx.sret_acc <- acc;
+            if rd <> 0 then begin
+              let kind =
+                if Machine.irq_enabled m then Cap.Otype.Return_enable
+                else Cap.Otype.Return_disable
+              in
+              uset regs rd
+                (Cap.exn (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) kind))
+            end;
+            tgt
+      | Isa.Cjalr (rd, rs) ->
+          if not (okr rd && okr rs) then raise Unsupported;
+          fun pcc acc ->
+            let acc = retire ctx acc in
+            flushx m acc;
+            ctx.sret_acc <- -1;
+            let target = uget regs rs in
+            let unsealed, back_kind = apply_jump_target m pc target in
+            if rd <> 0 then
+              uset regs rd
+                (Cap.exn
+                   (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) back_kind));
+            ctx.sjump <- unsealed;
+            x_jump
+      | Isa.Halt ->
+          fun _pcc acc ->
+            let acc = retire ctx acc in
+            flushx m acc;
+            ctx.sret_acc <- -1;
+            x_halt
+      | Isa.Trapif cause ->
+          fun _pcc acc ->
+            let acc = retire ctx acc in
+            flushx m acc;
+            trap pc (Software cause)
+    end
+  in
+  try
+    let f = build idx in
+    head := f;
+    { b_len = last - idx + 1; b_maxcost = mc; b_self = !self; b_run = f }
+  with Unsupported ->
+    { b_len = 0; b_maxcost = 0; b_self = false; b_run = (fun _ _ -> x_halt) }

@@ -1,0 +1,97 @@
+(** Superblock compiler: fuses the straight-line run from a jump target
+    to the next control-flow instruction into a single closure chain,
+    with per-instruction dispatch, segment-range and PCC-bounds checks
+    hoisted to block entry.  The {!Interp} dispatcher validates a
+    block's preconditions once, then either runs the fused closure or
+    side-exits to the exact per-instruction engine; compiled blocks are
+    observationally identical to it — registers, cycles, instret, trap
+    cause + PC and the Obs event stream — which the three-way
+    [test_interp_equiv] matrix pins.
+
+    The block-precondition invariant (see DESIGN.md): any state a
+    compiled block assumes constant must be either epoch-checked (the
+    memoized load-filter caches re-validate against
+    {!Memory.filter_epoch} on every access) or guarded by a side-exit
+    at block entry (PCC bounds, fuel, the event-horizon window for
+    deferred tick batching). *)
+
+type dslot = { d_ins : Isa.instr; d_target : int (* -1 = no label operand *) }
+(** One pre-decoded instruction: branch label operands resolved to
+    absolute addresses at decode time. *)
+
+type trap_cause = Cap_fault of Capability.violation | Software of string
+
+type trap = { tcause : trap_cause; tpc : int }
+
+exception Trap_exn of trap
+
+type ctx = {
+  sm : Machine.t;
+  smem : Memory.t;
+  sregs : Capability.t array;  (** the 16 merged registers *)
+  sspec : Capability.t array;  (** the 3 special registers *)
+  mutable sinstret : int;
+  mutable sjump : Capability.t;
+      (** Cjalr target handoff from terminator to dispatcher *)
+  mutable sret_acc : int;
+      (** pending deferred-cycle batch handed back by a pure-control
+          terminator instead of flushing, so the dispatcher can carry
+          it into the next block ([-1] = nothing pending); valid only
+          immediately after [b_run] returns *)
+  mutable sspins : int;
+      (** extra self-loop trips a [b_self] block may take inside the
+          compiled closure; the dispatcher sets it from the remaining
+          fuel before a deferred entry and reads back the unused count.
+          Safe as shared state because deferred execution is atomic:
+          every tick below the horizon takes the fast path and cannot
+          run effects, so no other run can interleave mid-spin. *)
+}
+(** Execution state shared by all interpreter engines.  Everything
+    per-run (pcc, deferred-cycle accumulator) is threaded through the
+    compiled closures as arguments instead, so a preemption effect
+    suspending one run cannot corrupt another. *)
+
+val make_ctx : Machine.t -> ctx
+
+val x_halt : int
+(** Block exit code: executed [Halt]. *)
+
+val x_jump : int
+(** Block exit code: executed [Cjalr]; the unsealed target is in
+    [ctx.sjump].  Any non-negative exit is the next pc. *)
+
+type block = {
+  b_len : int;
+      (** instructions retired by one execution; 0 marks an
+          uncompilable block (out-of-range register operands) that the
+          dispatcher must side-exit instead of running *)
+  b_maxcost : int;
+      (** worst-case cycle cost, the [Machine.defer_window] argument *)
+  b_self : bool;
+      (** the terminator's taken target is this block's own entry: a
+          tight loop that spins inside the closure, bounded by
+          [ctx.sspins] and the per-trip horizon re-check *)
+  b_run : Capability.t -> int -> int;
+      (** [b_run pcc acc]: [acc >= 0] enters deferred tick batching
+          with [acc] cycles already pending (0 on a fresh entry, more
+          when the dispatcher carries a batch across blocks — always
+          re-validated against [Machine.defer_window] first);
+          [acc = -1] charges every cycle immediately.  Returns an exit
+          code with [sret_acc] set to the still-pending batch (or -1);
+          raises [Trap_exn] / [Memory.Fault] / derivation errors with
+          all pending cycles flushed. *)
+}
+
+val compile : ctx -> dslot array -> base:int -> idx:int -> block
+(** Compile the block entered at slot [idx] of a segment's decoded
+    array ([base] = segment base address).  Pure code cache: a compiled
+    block stays valid for the segment's lifetime, across snapshot
+    restore (its memoized checks re-validate via the filter epoch). *)
+
+val apply_jump_target :
+  Machine.t -> int -> Capability.t -> Capability.t * Capability.Otype.sentry
+(** Sentry semantics shared by Cjalr and the external entry point:
+    unseal sentries, apply interrupt-posture changes, and return the
+    unsealed target plus the backward sentry kind restoring the
+    previous posture.  Traps (at the given pc) on untagged, data-sealed
+    or non-executable targets. *)

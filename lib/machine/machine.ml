@@ -122,6 +122,17 @@ let sram_base m = Memory.base m.mem
 let sram_size m = Memory.size m.mem
 let cycles m = m.cycles
 let irq_enabled m = m.irq_enabled
+let in_sram m addr = Memory.contains m.mem addr
+let filter_epoch m = Memory.filter_epoch m.mem
+
+(* Can [n] cycles of work be charged as one batched [tick] at the end of
+   the batch without any observable difference?  Yes iff the whole batch
+   stays strictly below the event horizon: then every intermediate tick
+   would have taken the fast path (no listener, no timer, no IRQ
+   delivery), and only the final clock value is observable.  A stale
+   horizon (0, or already passed) answers [false], which is always
+   safe. *)
+let defer_window m n = m.cycles + n < m.horizon
 
 let set_irq_enabled m b =
   m.irq_enabled <- b;

@@ -46,6 +46,22 @@ val tick : t -> int -> unit
     revoker, fires the timer, and delivers pending interrupts if
     enabled. *)
 
+val defer_window : t -> int -> bool
+(** [defer_window m n] is [true] when charging up to [n] cycles as a
+    single batched [tick] at the end of the batch is observationally
+    identical to charging them one instruction at a time: the whole
+    batch lies strictly below the cached event horizon, so no listener,
+    timer deadline or IRQ delivery can fire inside it.  Anything that
+    invalidates the horizon ([raise_irq], posture changes, device work)
+    makes this answer [false] until the next slow tick. *)
+
+val in_sram : t -> int -> bool
+(** Whether [addr] lies inside SRAM (as opposed to MMIO space). *)
+
+val filter_epoch : t -> int
+(** [Memory.filter_epoch] of this machine's SRAM; see that function for
+    the cache-validity contract. *)
+
 val clock_mhz : int
 (** 33 MHz, the paper's FPGA clock; used to convert cycles to seconds. *)
 

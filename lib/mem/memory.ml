@@ -25,6 +25,11 @@ type t = {
   revoked : Bytes.t;
   mutable revoked_count : int;
   mutable load_filter : bool;
+  mutable filter_epoch : int;
+      (** bumped whenever the outcome of a load-filter check may change:
+          revocation-bit edits, [set_load_filter], snapshot restore.
+          Monotone — never restored — so caches keyed on it cannot be
+          fooled by a rewind. *)
   mutable tag_set_hook : unit -> unit;
 }
 
@@ -41,13 +46,18 @@ let create ~base ~size =
     revoked = Bytes.make ((granules + 7) / 8) '\000';
     revoked_count = 0;
     load_filter = true;
+    filter_epoch = 0;
     tag_set_hook = ignore;
   }
 
 let base m = m.base
 let size m = m.size
 let contains m addr = addr >= m.base && addr < m.base + m.size
-let set_load_filter m b = m.load_filter <- b
+let set_load_filter m b =
+  m.load_filter <- b;
+  m.filter_epoch <- m.filter_epoch + 1
+
+let filter_epoch m = m.filter_epoch
 let load_filter_enabled m = m.load_filter
 let granule_count m = m.size / granule_size
 let set_tag_set_hook m f = m.tag_set_hook <- f
@@ -156,12 +166,14 @@ let rev_set m g v =
   if v then begin
     if b land mask = 0 then begin
       Bytes.set m.revoked i (Char.chr ((b lor mask) land 0xff));
-      m.revoked_count <- m.revoked_count + 1
+      m.revoked_count <- m.revoked_count + 1;
+      m.filter_epoch <- m.filter_epoch + 1
     end
   end
   else if b land mask <> 0 then begin
     Bytes.set m.revoked i (Char.chr (b land lnot mask land 0xff));
-    m.revoked_count <- m.revoked_count - 1
+    m.revoked_count <- m.revoked_count - 1;
+    m.filter_epoch <- m.filter_epoch + 1
   end
 
 let set_revoked m ~addr ~len =
@@ -217,6 +229,40 @@ let store_priv m ~addr ~size:sz v =
   (* Any data write invalidates the tag of the granule(s) touched. *)
   clear_granule_tag m addr;
   clear_granule_tag m (addr + sz - 1)
+
+(* Unchecked word access for the superblock engine's memoized fast
+   paths.  The caller has already validated the exact same access (same
+   byte offset, proven by physical equality of the authorizing
+   capability) through the full checked path, and re-validates staleness
+   via [filter_epoch]; so these skip the range check and the size
+   dispatch.  [store32_off] still clears the granule tag(s) — a data
+   write always does, and the tag state is not covered by the epoch. *)
+
+external unsafe_get16 : bytes -> int -> int = "%caml_bytes_get16u"
+external unsafe_set16 : bytes -> int -> int -> unit = "%caml_bytes_set16u"
+
+(* The primitives load/store native-endian; [Sys.big_endian] is a
+   compile-time constant, so the swap folds away on LE hosts. *)
+let[@inline] swap16 v = ((v land 0xff) lsl 8) lor (v lsr 8)
+let[@inline] get16_le b i =
+  let v = unsafe_get16 b i in
+  if Sys.big_endian then swap16 v else v
+
+let[@inline] set16_le b i v =
+  unsafe_set16 b i (if Sys.big_endian then swap16 (v land 0xffff) else v)
+
+let[@inline] word_offset m addr = addr - m.base
+
+let[@inline] load32_off m off =
+  get16_le m.data off lor (get16_le m.data (off + 2) lsl 16)
+
+let[@inline] store32_off m off v =
+  set16_le m.data off (v land 0xffff);
+  set16_le m.data (off + 2) ((v lsr 16) land 0xffff);
+  let g = off lsr 3 (* / granule_size *) in
+  cap_clear m g;
+  let g2 = (off + 3) lsr 3 in
+  if g2 <> g then cap_clear m g2
 
 (* Lossy raw encoding of a capability: cursor in the low word, a packed
    summary in the high word.  Reading a capability as data observes this,
@@ -396,4 +442,8 @@ let snapshot m =
     m.tagged_count <- tagged_count;
     Bytes.blit revoked 0 m.revoked 0 (Bytes.length revoked);
     m.revoked_count <- revoked_count;
-    m.load_filter <- load_filter
+    m.load_filter <- load_filter;
+    (* Bumped, never restored: the restored bitmap may differ from what
+       a warm access cache last validated against, so every cache keyed
+       on the epoch must re-check after a rewind. *)
+    m.filter_epoch <- m.filter_epoch + 1

@@ -49,6 +49,14 @@ val set_load_filter : t -> bool -> unit
 
 val load_filter_enabled : t -> bool
 
+val filter_epoch : t -> int
+(** Monotone counter bumped whenever the outcome of an access check on a
+    fixed authority could change: any revocation-bit edit ([set_revoked]
+    / [clear_revoked] on a bit that actually flips), [set_load_filter],
+    and snapshot restore (bumped, never rewound).  A cache that records
+    (authority, epoch) on a successful check may skip re-checking the
+    same authority while the epoch is unchanged. *)
+
 (* Checked data access *)
 
 val check :
@@ -87,6 +95,21 @@ val zero : auth:Capability.t -> t -> addr:int -> len:int -> unit
 
 val load_priv : t -> addr:int -> size:int -> int
 val store_priv : t -> addr:int -> size:int -> int -> unit
+val word_offset : t -> int -> int
+(** Byte offset of an address inside the backing store, for
+    [load32_off]/[store32_off].  Compute it on a checked access and
+    reuse it only while that access provably revalidates (the
+    superblock inline caches key it on physical equality of the
+    authorizing capability plus [filter_epoch]). *)
+
+val load32_off : t -> int -> int
+(** Unchecked 32-bit load at a [word_offset].  The offset must come
+    from an access that passed the full checked path. *)
+
+val store32_off : t -> int -> int -> unit
+(** Unchecked 32-bit store at a [word_offset]; clears the granule
+    tag(s) touched, like every data write. *)
+
 val load_cap_priv : t -> addr:int -> Capability.t
 val store_cap_priv : t -> addr:int -> Capability.t -> unit
 val zero_priv : t -> addr:int -> len:int -> unit

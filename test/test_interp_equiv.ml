@@ -1,15 +1,26 @@
-(* Equivalence lockdown for the decode-once interpreter front-end: on
-   randomized programs, the pre-decoded engine and the legacy per-step
-   fetch/decode path must agree on everything observable — final
-   registers, instructions retired, simulated cycles, outcome (including
-   trap cause and faulting PC) and the emitted trace event stream.  The
-   golden-cycles files pin the real workloads; this suite explores the
-   weird corners (bound-edge branches, traps mid-loop, fuel exhaustion,
-   sentry jumps) the workloads never reach. *)
+(* Equivalence lockdown for the interpreter back-ends: on randomized
+   programs, the pre-decoded and superblock-compiled engines must agree
+   with the legacy per-step fetch/decode oracle on everything observable
+   — final registers, instructions retired, simulated cycles, outcome
+   (including trap cause and faulting PC) and the emitted trace event
+   stream.  The golden-cycles files pin the real workloads; this suite
+   explores the weird corners (bound-edge branches, traps mid-loop, fuel
+   exhaustion, sentry jumps) the workloads never reach, plus the corners
+   specific to superblock compilation: an IRQ firing mid-block, a fault
+   injected mid-block by external hardware, fuel running out inside a
+   block (forced side-exit), and filter-epoch invalidation between two
+   executions of the same warm compiled block. *)
 
 module Cap = Capability
 
 let code_base = 0x4000_0000
+
+let engine_name = function
+  | `Legacy -> "legacy"
+  | `Predecode -> "predecode"
+  | `Superblock -> "superblock"
+
+let fast_engines = [ `Predecode; `Superblock ]
 
 (* ------------------------------------------------------------------ *)
 (* Random program generation                                          *)
@@ -79,7 +90,7 @@ let gen_program rng =
   Isa.assemble ~name:"equiv" (!items @ [ Isa.I Isa.Halt ])
 
 (* ------------------------------------------------------------------ *)
-(* One run under either front-end                                     *)
+(* One run under any engine                                           *)
 (* ------------------------------------------------------------------ *)
 
 type snapshot = {
@@ -95,11 +106,20 @@ let outcome_to_string = function
   | Interp.Exited c -> "exited " ^ Cap.to_string c
   | Interp.Trapped tr -> Fmt.str "%a" Interp.pp_trap tr
 
-let run_one ~predecode ~fuel prog =
+let view machine obs interp outcome =
+  {
+    s_outcome = outcome_to_string outcome;
+    s_instret = Interp.instret interp;
+    s_cycles = Machine.cycles machine;
+    s_regs = Array.to_list (Array.map Cap.to_string (Interp.regs interp));
+    s_events = List.map (Fmt.str "%a" Obs.pp_event) (Obs.events obs);
+  }
+
+let run_one ~engine ~fuel prog =
   let machine = Machine.create () in
   let obs = Obs.create () in
   Machine.set_trace machine (Some obs);
-  let interp = Interp.create ~predecode machine in
+  let interp = Interp.create ~engine machine in
   Interp.map_segment interp ~base:code_base prog;
   let sram = Machine.sram_base machine in
   (Interp.regs interp).(6) <-
@@ -114,30 +134,32 @@ let run_one ~predecode ~fuel prog =
   let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
   (Interp.regs interp).(8) <- entry;
   let outcome = Interp.run ~fuel interp entry in
-  {
-    s_outcome = outcome_to_string outcome;
-    s_instret = Interp.instret interp;
-    s_cycles = Machine.cycles machine;
-    s_regs = Array.to_list (Array.map Cap.to_string (Interp.regs interp));
-    s_events = List.map (Fmt.str "%a" Obs.pp_event) (Obs.events obs);
-  }
+  view machine obs interp outcome
+
+let diff_views what oracle fast =
+  let same l = String.concat "; " l in
+  if fast.s_outcome <> oracle.s_outcome then
+    QCheck.Test.fail_reportf "%s outcome: %s vs %s" what fast.s_outcome
+      oracle.s_outcome;
+  if fast.s_instret <> oracle.s_instret then
+    QCheck.Test.fail_reportf "%s instret: %d vs %d" what fast.s_instret
+      oracle.s_instret;
+  if fast.s_cycles <> oracle.s_cycles then
+    QCheck.Test.fail_reportf "%s cycles: %d vs %d" what fast.s_cycles
+      oracle.s_cycles;
+  if fast.s_regs <> oracle.s_regs then
+    QCheck.Test.fail_reportf "%s registers:@.%s@.vs@.%s" what
+      (same fast.s_regs) (same oracle.s_regs);
+  if fast.s_events <> oracle.s_events then
+    QCheck.Test.fail_reportf "%s trace events:@.%s@.vs@.%s" what
+      (same fast.s_events) (same oracle.s_events)
 
 let check_equiv ?(fuel = 2_000) prog =
-  let fast = run_one ~predecode:true ~fuel prog in
-  let slow = run_one ~predecode:false ~fuel prog in
-  let same l = String.concat "; " l in
-  if fast.s_outcome <> slow.s_outcome then
-    QCheck.Test.fail_reportf "outcome: %s vs %s" fast.s_outcome slow.s_outcome;
-  if fast.s_instret <> slow.s_instret then
-    QCheck.Test.fail_reportf "instret: %d vs %d" fast.s_instret slow.s_instret;
-  if fast.s_cycles <> slow.s_cycles then
-    QCheck.Test.fail_reportf "cycles: %d vs %d" fast.s_cycles slow.s_cycles;
-  if fast.s_regs <> slow.s_regs then
-    QCheck.Test.fail_reportf "registers:@.%s@.vs@.%s" (same fast.s_regs)
-      (same slow.s_regs);
-  if fast.s_events <> slow.s_events then
-    QCheck.Test.fail_reportf "trace events:@.%s@.vs@.%s" (same fast.s_events)
-      (same slow.s_events);
+  let oracle = run_one ~engine:`Legacy ~fuel prog in
+  List.iter
+    (fun engine ->
+      diff_views (engine_name engine) oracle (run_one ~engine ~fuel prog))
+    fast_engines;
   true
 
 (* ------------------------------------------------------------------ *)
@@ -147,14 +169,16 @@ let check_equiv ?(fuel = 2_000) prog =
 let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 0x3fffffff)
 
 let prop_random_programs =
-  QCheck.Test.make ~name:"pre-decoded == legacy on random programs" ~count:300
+  QCheck.Test.make
+    ~name:"predecode == superblock == legacy on random programs" ~count:300
     seed_gen
     (fun s ->
       let rng = Random.State.make [| s; 0x5eed |] in
       check_equiv (gen_program rng))
 
 let prop_fuel_exhaustion =
-  QCheck.Test.make ~name:"pre-decoded == legacy at every fuel level" ~count:100
+  QCheck.Test.make ~name:"all three engines agree at every fuel level"
+    ~count:100
     (QCheck.pair seed_gen QCheck.(int_range 1 60))
     (fun (s, fuel) ->
       let rng = Random.State.make [| s; 0xf0e1 |] in
@@ -164,16 +188,17 @@ let prop_fuel_exhaustion =
 
 let test_bounds_fall_through () =
   (* Straight-line code running off the end of its segment must trap
-     Bounds at the first address past it, identically in both engines. *)
+     Bounds at the first address past it, identically in all engines. *)
   let prog =
     Isa.assemble ~name:"fall" [ Isa.I (Isa.Li (1, 1)); Isa.I (Isa.Li (2, 2)) ]
   in
   ignore (check_equiv prog)
 
 let test_narrow_pcc () =
-  (* A pcc narrower than the segment: the fast path's in-segment check
+  (* A pcc narrower than the segment: the fast paths' in-segment check
      passes but the pcc bounds check must still fire, with the same
-     violation the legacy path reports. *)
+     violation the legacy path reports.  For the superblock engine the
+     whole-block bounds precondition fails, forcing the side-exit. *)
   let prog =
     Isa.assemble ~name:"narrow"
       [
@@ -183,20 +208,26 @@ let test_narrow_pcc () =
         Isa.I Isa.Halt;
       ]
   in
-  let run predecode =
+  let run engine =
     let machine = Machine.create () in
-    let interp = Interp.create ~predecode machine in
+    let interp = Interp.create ~engine machine in
     Interp.map_segment interp ~base:code_base prog;
     let pcc =
       Cap.make_root ~base:code_base ~top:(code_base + 8)
         ~perms:Perm.Set.executable
     in
     let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
-    (outcome_to_string (Interp.run ~fuel:100 interp entry),
-     Interp.instret interp, Machine.cycles machine)
+    ( outcome_to_string (Interp.run ~fuel:100 interp entry),
+      Interp.instret interp,
+      Machine.cycles machine )
   in
-  Alcotest.(check (triple string int int))
-    "narrow pcc agrees" (run false) (run true)
+  let oracle = run `Legacy in
+  List.iter
+    (fun engine ->
+      Alcotest.(check (triple string int int))
+        ("narrow pcc agrees: " ^ engine_name engine)
+        oracle (run engine))
+    fast_engines
 
 let test_jump_out_exits () =
   (* Cjalr to an address outside every segment leaves the interpreter
@@ -204,9 +235,9 @@ let test_jump_out_exits () =
   let prog =
     Isa.assemble ~name:"exit" [ Isa.I (Isa.Cjalr (1, 8)); Isa.I Isa.Halt ]
   in
-  let run predecode =
+  let run engine =
     let machine = Machine.create () in
-    let interp = Interp.create ~predecode machine in
+    let interp = Interp.create ~engine machine in
     Interp.map_segment interp ~base:code_base prog;
     let sram = Machine.sram_base machine in
     let away =
@@ -223,7 +254,164 @@ let test_jump_out_exits () =
     (outcome_to_string (Interp.run ~fuel:100 interp entry),
      Interp.instret interp)
   in
-  Alcotest.(check (pair string int)) "exit agrees" (run false) (run true)
+  let oracle = run `Legacy in
+  List.iter
+    (fun engine ->
+      Alcotest.(check (pair string int))
+        ("exit agrees: " ^ engine_name engine)
+        oracle (run engine))
+    fast_engines
+
+(* ------------------------------------------------------------------ *)
+(* Superblock-specific corners: the tight loop is one compiled block   *)
+(* (Addi; Sw; Lw; Bne), the shape the deferred batching and self-loop  *)
+(* spinning optimize hardest, perturbed by exactly the events those    *)
+(* optimizations must not distort.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let loop_prog trips =
+  Isa.assemble ~name:"tight"
+    [
+      Isa.I (Isa.Li (4, 0));
+      Isa.I (Isa.Li (5, trips));
+      Isa.L "loop";
+      Isa.I (Isa.Addi (4, 4, 1));
+      Isa.I (Isa.Sw (4, 0, 6));
+      Isa.I (Isa.Lw (7, 0, 6));
+      Isa.I (Isa.Bne (4, 5, "loop"));
+      Isa.I Isa.Halt;
+    ]
+
+(* Build a rig around [loop_prog] and hand the machine to [setup]
+   before running, so each corner can arm its own perturbation. *)
+let run_loop ~engine ?(fuel = 100_000) ~trips setup =
+  let machine = Machine.create () in
+  let obs = Obs.create () in
+  Machine.set_trace machine (Some obs);
+  let interp = Interp.create ~engine machine in
+  let prog = loop_prog trips in
+  Interp.map_segment interp ~base:code_base prog;
+  let sram = Machine.sram_base machine in
+  (Interp.regs interp).(6) <-
+    Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+  let extra = setup machine in
+  let pcc =
+    Cap.make_root ~base:code_base
+      ~top:(code_base + Isa.code_bytes prog)
+      ~perms:Perm.Set.executable
+  in
+  let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
+  let outcome = Interp.run ~fuel interp entry in
+  (view machine obs interp outcome, extra ())
+
+let check_loop_matrix name ?fuel ~trips setup =
+  let oracle, oracle_extra = run_loop ~engine:`Legacy ?fuel ~trips setup in
+  List.iter
+    (fun engine ->
+      let got, extra = run_loop ~engine ?fuel ~trips setup in
+      diff_views (name ^ ": " ^ engine_name engine) oracle got;
+      Alcotest.(check (list (pair int int)))
+        (name ^ " side observations: " ^ engine_name engine)
+        oracle_extra extra)
+    fast_engines;
+  oracle
+
+let test_irq_mid_block () =
+  (* A timer deadline landing mid-trip: the event horizon must stop the
+     deferred batch (and the self-loop spin) short of the deadline so
+     delivery happens at exactly the cycle the per-instruction oracle
+     delivers at. *)
+  let oracle =
+    check_loop_matrix "irq mid-block" ~trips:200 (fun machine ->
+        let delivered = ref [] in
+        Machine.set_irq_enabled machine true;
+        Machine.set_deliver_hook machine
+          (Some
+             (fun n -> delivered := (n, Machine.cycles machine) :: !delivered));
+        (* 8 cycles per trip: cycle 501 is mid-trip, mid-block. *)
+        Machine.set_timer machine (Some 501);
+        fun () -> List.rev !delivered)
+  in
+  Alcotest.(check string) "loop still halts" "halted" oracle.s_outcome
+
+let test_fault_mid_block () =
+  (* External hardware revokes r6's base granule at an exact cycle: the
+     wakeup shortens the horizon, the block runs non-deferred through
+     the listener, the epoch bump invalidates the warm inline caches,
+     and the very next Lw/Sw through r6 must take the slow path and
+     trap at the same instruction in every engine. *)
+  let oracle =
+    check_loop_matrix "fault mid-block" ~trips:200 (fun machine ->
+        let mem = Machine.mem machine in
+        let sram = Machine.sram_base machine in
+        let h = Machine.add_tick_listener ~period:0 machine (fun _ ->
+            Memory.set_revoked mem ~addr:sram ~len:8) in
+        Machine.set_listener_wakeup machine h ~at:501;
+        fun () -> [])
+  in
+  Alcotest.(check bool) "revocation mid-loop trapped" true
+    (oracle.s_outcome <> "halted");
+  Alcotest.(check bool) "trapped before the loop finished" true
+    (oracle.s_instret < (200 * 4) + 3)
+
+let test_fuel_inside_block () =
+  (* Fuel that runs out inside the compiled block: the dispatcher's
+     budget precondition fails and the remainder runs on the exact
+     per-instruction engine, trapping "out of fuel" at the same pc and
+     cycle.  Sweep fuel across several block phases. *)
+  for fuel = 1 to 40 do
+    ignore
+      (check_loop_matrix
+         (Printf.sprintf "fuel %d inside block" fuel)
+         ~fuel ~trips:200
+         (fun _ -> fun () -> []))
+  done
+
+let test_epoch_invalidation_between_runs () =
+  (* Two executions of the same warm compiled block with a revocation
+     edit in between: the first run warms the block cache and the
+     memoized load-filter caches; the edit bumps the filter epoch; the
+     second run must re-check and trap, and after clearing the bit a
+     third run must succeed again — identically in every engine. *)
+  let run engine =
+    let machine = Machine.create () in
+    let obs = Obs.create () in
+    Machine.set_trace machine (Some obs);
+    let interp = Interp.create ~engine machine in
+    let prog = loop_prog 50 in
+    Interp.map_segment interp ~base:code_base prog;
+    let sram = Machine.sram_base machine in
+    let mem = Machine.mem machine in
+    (Interp.regs interp).(6) <-
+      Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+    let pcc =
+      Cap.make_root ~base:code_base
+        ~top:(code_base + Isa.code_bytes prog)
+        ~perms:Perm.Set.executable
+    in
+    let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
+    let go () =
+      view machine obs interp (Interp.run ~fuel:10_000 interp entry)
+    in
+    let warm = go () in
+    Memory.set_revoked mem ~addr:sram ~len:8;
+    let revoked = go () in
+    Memory.clear_revoked mem ~addr:sram ~len:8;
+    let cleared = go () in
+    (warm, revoked, cleared)
+  in
+  let w0, r0, c0 = run `Legacy in
+  Alcotest.(check string) "warm run halts" "halted" w0.s_outcome;
+  Alcotest.(check bool) "revoked run traps" true (r0.s_outcome <> "halted");
+  Alcotest.(check string) "cleared run halts again" "halted" c0.s_outcome;
+  List.iter
+    (fun engine ->
+      let w, r, c = run engine in
+      let n = engine_name engine in
+      diff_views ("epoch warm: " ^ n) w0 w;
+      diff_views ("epoch revoked: " ^ n) r0 r;
+      diff_views ("epoch cleared: " ^ n) c0 c)
+    fast_engines
 
 let () =
   Alcotest.run "cheriot_interp_equiv"
@@ -236,5 +424,15 @@ let () =
             test_bounds_fall_through;
           Alcotest.test_case "narrow pcc" `Quick test_narrow_pcc;
           Alcotest.test_case "jump out exits" `Quick test_jump_out_exits;
+        ] );
+      ( "superblock corners",
+        [
+          Alcotest.test_case "IRQ mid-block" `Quick test_irq_mid_block;
+          Alcotest.test_case "fault injected mid-block" `Quick
+            test_fault_mid_block;
+          Alcotest.test_case "fuel exhausted inside a block" `Quick
+            test_fuel_inside_block;
+          Alcotest.test_case "epoch invalidation between runs" `Quick
+            test_epoch_invalidation_between_runs;
         ] );
     ]

@@ -10,11 +10,13 @@
      f2: prologue; snapshot; epilogue;
          restore; epilogue                     (restore is exact)
 
-   and identically under both interpreter front-ends (the legacy
-   ~predecode:false path restores through the same capture).  Corners
-   the generator cannot reach — snapshot with an IRQ latched behind a
-   masked line, snapshot mid-quarantine-sweep, snapshot attempted from
-   a running kernel thread — get hand-built cases. *)
+   and identically under all three interpreter engines (legacy,
+   pre-decoded, superblock — each restores through the same capture).
+   Corners the generator cannot reach — snapshot with an IRQ latched
+   behind a masked line, snapshot mid-quarantine-sweep, snapshot
+   attempted from a running kernel thread, restore over a superblock
+   engine's warm compiled blocks and inline caches — get hand-built
+   cases. *)
 
 module Cap = Capability
 module F = Firmware
@@ -90,11 +92,11 @@ let outcome_to_string = function
   | Interp.Exited c -> "exited " ^ Cap.to_string c
   | Interp.Trapped tr -> Fmt.str "%a" Interp.pp_trap tr
 
-let make_rig ~predecode prog_a prog_b =
+let make_rig ~engine prog_a prog_b =
   let machine = Machine.create () in
   let obs = Obs.create () in
   Machine.set_trace machine (Some obs);
-  let interp = Interp.create ~predecode machine in
+  let interp = Interp.create ~engine machine in
   Interp.map_segment interp ~base:code_base prog_a;
   Interp.map_segment interp ~base:code_base2 prog_b;
   let sram = Machine.sram_base machine in
@@ -151,11 +153,11 @@ let check_view what a b =
       (same a.s_events) (same b.s_events)
 
 (* One engine's triple for a given program pair. *)
-let fork_views ~predecode ~fuel prog_a prog_b =
-  let plain = make_rig ~predecode prog_a prog_b in
+let fork_views ~engine ~fuel prog_a prog_b =
+  let plain = make_rig ~engine prog_a prog_b in
   ignore (Interp.run ~fuel plain.interp (entry_of code_base prog_a));
   let f0 = run_epilogue ~fuel plain prog_b in
-  let rig = make_rig ~predecode prog_a prog_b in
+  let rig = make_rig ~engine prog_a prog_b in
   ignore (Interp.run ~fuel rig.interp (entry_of code_base prog_a));
   let snap = Machine.snapshot rig.machine in
   let f1 = run_epilogue ~fuel rig prog_b in
@@ -167,19 +169,24 @@ let check_matrix ?(fuel = 2_000) s =
   let rng = Random.State.make [| s; 0x54a9 |] in
   let prog_a = gen_program rng in
   let prog_b = gen_program rng in
-  let f0, f1, f2, rig, snap = fork_views ~predecode:true ~fuel prog_a prog_b in
-  check_view "fast: snapshot invisible" f0 f1;
-  check_view "fast: restore exact" f1 f2;
+  let f0, f1, f2, rig, snap =
+    fork_views ~engine:`Superblock ~fuel prog_a prog_b
+  in
+  check_view "superblock: snapshot invisible" f0 f1;
+  check_view "superblock: restore exact" f1 f2;
   (* Restoring the same snapshot again must fork identically — the
      capture owns its state, successive restores cannot see each other. *)
   Machine.restore rig.machine snap;
   let f3 = run_epilogue ~fuel rig prog_b in
-  check_view "fast: second restore exact" f2 f3;
-  (* The legacy per-step front-end restores through the same capture. *)
-  let g0, g1, g2, _, _ = fork_views ~predecode:false ~fuel prog_a prog_b in
+  check_view "superblock: second restore exact" f2 f3;
+  (* The other engines restore through the same capture and must land
+     on the same fork. *)
+  let g0, g1, g2, _, _ = fork_views ~engine:`Legacy ~fuel prog_a prog_b in
   check_view "legacy: snapshot invisible" g0 g1;
   check_view "legacy: restore exact" g1 g2;
-  check_view "fast == legacy after restore" f2 g2;
+  check_view "superblock == legacy after restore" f2 g2;
+  let _, _, h2, _, _ = fork_views ~engine:`Predecode ~fuel prog_a prog_b in
+  check_view "predecode == legacy after restore" h2 g2;
   true
 
 let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 0x3fffffff)
@@ -198,7 +205,9 @@ let prop_fork_any_fuel =
       let rng = Random.State.make [| s; 0x0f0e |] in
       let prog_a = gen_program rng in
       let prog_b = gen_program rng in
-      let _, f1, f2, _, _ = fork_views ~predecode:true ~fuel prog_a prog_b in
+      let _, f1, f2, _, _ =
+        fork_views ~engine:`Superblock ~fuel prog_a prog_b
+      in
       (* Only restore-exactness is meaningful here: the prologue was cut
          short by fuel in both runs, so f0 ≡ f1 already follows from the
          full-fuel property. *)
@@ -235,6 +244,64 @@ let test_pending_irq_snapshot () =
   let deliveries, _, still_pending = a in
   Alcotest.(check bool) "irq actually delivered" true (deliveries <> []);
   Alcotest.(check bool) "pending cleared by delivery" false still_pending
+
+(* ------------------------------------------------------------------ *)
+(* Corner: restore over a superblock engine's warm caches             *)
+(* ------------------------------------------------------------------ *)
+
+let test_restore_over_warm_superblock_caches () =
+  (* The superblock engine memoizes load-filter checks keyed on
+     (authority, filter epoch).  Snapshot a machine whose data region is
+     revoked, clear the revocation and run a loop to warm the compiled
+     blocks and their inline caches with passing entries, then restore.
+     The restored machine is revoked again; if restore failed to bump
+     the filter epoch (or the interpreter kept stale per-run state), the
+     warm caches would let the loop run unchecked.  It must trap exactly
+     like a fresh legacy interpreter on the restored state. *)
+  let prog =
+    Isa.assemble ~name:"warm"
+      [
+        Isa.I (Isa.Li (4, 0));
+        Isa.I (Isa.Li (5, 50));
+        Isa.L "loop";
+        Isa.I (Isa.Addi (4, 4, 1));
+        Isa.I (Isa.Sw (4, 0, 6));
+        Isa.I (Isa.Lw (7, 0, 6));
+        Isa.I (Isa.Bne (4, 5, "loop"));
+        Isa.I Isa.Halt;
+      ]
+  in
+  let run engine =
+    let machine = Machine.create () in
+    let interp = Interp.create ~engine machine in
+    Interp.map_segment interp ~base:code_base prog;
+    let sram = Machine.sram_base machine in
+    let mem = Machine.mem machine in
+    (Interp.regs interp).(6) <-
+      Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+    let go () =
+      ( outcome_to_string (Interp.run ~fuel:10_000 interp (entry_of code_base prog)),
+        Interp.instret interp,
+        Machine.cycles machine )
+    in
+    Memory.set_revoked mem ~addr:sram ~len:8;
+    let snap = Machine.snapshot machine in
+    Memory.clear_revoked mem ~addr:sram ~len:8;
+    let warm = go () in
+    Machine.restore machine snap;
+    let restored = go () in
+    (warm, restored)
+  in
+  let (warm_l, restored_l) = run `Legacy in
+  let (warm_s, restored_s) = run `Superblock in
+  let t3 = Alcotest.(triple string int int) in
+  let (o, _, _) = warm_l in
+  Alcotest.(check string) "warm run halts" "halted" o;
+  let (o, _, _) = restored_l in
+  Alcotest.(check bool) "restored run traps" true (o <> "halted");
+  Alcotest.check t3 "warm run agrees" warm_l warm_s;
+  Alcotest.check t3 "restored run agrees over warm caches" restored_l
+    restored_s
 
 (* ------------------------------------------------------------------ *)
 (* Corners needing a full system: mid-sweep fork, quiescence contract *)
@@ -319,6 +386,8 @@ let () =
           Qcheck_seed.to_alcotest prop_fork_any_fuel;
           Alcotest.test_case "pending IRQ behind masked line" `Quick
             test_pending_irq_snapshot;
+          Alcotest.test_case "restore over warm superblock caches" `Quick
+            test_restore_over_warm_superblock_caches;
           Alcotest.test_case "mid-quarantine-sweep fork" `Quick
             test_mid_sweep_snapshot;
           Alcotest.test_case "snapshot refused mid-run" `Quick
