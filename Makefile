@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-seeds report-smoke replay-smoke ci campaign campaign-par bench perf perf-gate clean
+.PHONY: all build test test-seeds report-smoke replay-smoke attack-smoke ci campaign campaign-par bench perf perf-gate clean
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 # (the suites read QCHECK_SEED; a failure prints the seed to replay).
 SEEDS ?= 1 7 42 1234 987654321
 PROP_TESTS = test_cap_props test_alloc_props test_mem_props test_obs_props \
-	test_forensics test_interp_equiv test_snapshot_equiv
+	test_forensics test_interp_equiv test_snapshot_equiv test_attack
 
 test-seeds: build
 	@for s in $(SEEDS); do \
@@ -46,7 +46,19 @@ replay-smoke: build
 	@diff test/golden_campaign7.journal _build/replay7.journal
 	@echo "replay-smoke: journal verified and matches golden"
 
-ci: build test test-seeds report-smoke replay-smoke campaign-par perf-gate perf
+# Differential-security smoke: the containment matrix at --jobs 4 must
+# be byte-identical to the sequential run (CHERIoT scenarios fork from
+# a shared post-boot snapshot per chunk, so this also pins the
+# snapshot-fork == fresh-boot equivalence), and must match the
+# committed golden (dune promote accepts a deliberate verdict change).
+attack-smoke: build
+	@dune exec bench/main.exe -- attack-matrix --seed 1 --n 6 --jobs 1 2>/dev/null > _build/attack_j1.out
+	@dune exec bench/main.exe -- attack-matrix --seed 1 --n 6 --jobs 4 2>/dev/null > _build/attack_j4.out
+	@diff _build/attack_j1.out _build/attack_j4.out
+	@diff test/golden_attack_matrix.expected _build/attack_j1.out
+	@echo "attack-smoke: --jobs 4 identical to --jobs 1, matrix matches golden"
+
+ci: build test test-seeds report-smoke replay-smoke campaign-par attack-smoke perf-gate perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 # Farmed across all cores by default; --jobs 1 forces the sequential path.

@@ -887,6 +887,7 @@ let report_cmd args =
    what the machine was fed just before it crashed. *)
 let crashdump_cmd args =
   let context = ref None in
+  let from_snapshot = ref false in
   let rec split acc = function
     | "--replay-context" :: v :: rest -> (
         match int_of_string_opt v with
@@ -896,6 +897,9 @@ let crashdump_cmd args =
         | _ ->
             Fmt.epr "crashdump: --replay-context expects a positive integer@.";
             exit 1)
+    | "--from-snapshot" :: rest ->
+        from_snapshot := true;
+        split acc rest
     | a :: rest -> split (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -912,7 +916,10 @@ let crashdump_cmd args =
   let dumps =
     match int_of_string_opt scenario with
     | Some seed ->
-        let o = Fault_campaign.run_scenario ~prepare:attach ~seed () in
+        let o =
+          Fault_campaign.run_scenario ~prepare:attach
+            ~from_snapshot:!from_snapshot ~seed ()
+        in
         section (Printf.sprintf "crashdump: campaign seed %d" seed);
         Fmt.pr "faults=%d reboots=%d dumps=%d@." o.Fault_campaign.oc_faults
           o.Fault_campaign.oc_reboots
@@ -957,6 +964,100 @@ let crashdump_cmd args =
             List.iter (fun e -> Fmt.pr "  %s@." (Replay.entry_to_string e)) slice)
         dumps
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Differential attack campaigns (lib/attack): the containment        *)
+(* matrix, CHERIoT vs the MPU baseline.  Stdout is a pure function of *)
+(* (--seed, --n, --disarm) — identical for every --jobs — and pinned  *)
+(* by test/golden_attack_matrix.expected and `make attack-smoke`.     *)
+(* ------------------------------------------------------------------ *)
+
+let attack_matrix_cmd args =
+  let jobs = ref (Farm.default_jobs ()) in
+  let seed = ref 1 in
+  let n = ref 6 in
+  let json = ref false in
+  let armed = ref true in
+  let replay = ref None in
+  let int_arg name v k rest parse_rest =
+    match int_of_string_opt v with
+    | Some x when x >= 1 ->
+        k x;
+        parse_rest rest
+    | _ ->
+        Fmt.epr "attack-matrix: %s expects a positive integer, got %s@." name v;
+        exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: v :: rest -> int_arg "--jobs" v (fun x -> jobs := x) rest parse
+    | "--seed" :: v :: rest -> int_arg "--seed" v (fun x -> seed := x) rest parse
+    | "--n" :: v :: rest -> int_arg "--n" v (fun x -> n := x) rest parse
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--disarm" :: rest ->
+        armed := false;
+        parse rest
+    | "--replay" :: v :: rest ->
+        (match String.split_on_char ':' v with
+        | [ f; m; s ] -> (
+            match
+              ( Attack.family_of_name f,
+                Attack.model_of_name m,
+                int_of_string_opt s )
+            with
+            | Some family, Some model, Some seed ->
+                replay := Some (family, model, seed)
+            | _ ->
+                Fmt.epr
+                  "attack-matrix: --replay expects <family>:<model>:<seed> \
+                   (families: %s; models: %s)@."
+                  (String.concat "," (List.map Attack.family_name Attack.families))
+                  (String.concat "," (List.map Attack.model_name Attack.models));
+                exit 1)
+        | _ ->
+            Fmt.epr "attack-matrix: --replay expects <family>:<model>:<seed>@.";
+            exit 1);
+        parse rest
+    | a :: _ ->
+        Fmt.epr "attack-matrix: unknown argument %s@." a;
+        exit 1
+  in
+  parse args;
+  match !replay with
+  | Some (family, model, seed) ->
+      (* Replay one cell with its full forensic record. *)
+      let o = Attack.run_one ~armed:!armed ~family ~model ~seed () in
+      section
+        (Printf.sprintf "attack replay: %s on %s, seed %d"
+           (Attack.family_name family) (Attack.model_name model) seed);
+      Fmt.pr "verdict: %s (%d cycles)@."
+        (Attack.verdict_name o.Attack.at_verdict)
+        o.Attack.at_cycles;
+      List.iter (fun e -> Fmt.pr "evidence: %s@." e) o.Attack.at_evidence;
+      List.iter
+        (fun d -> Fmt.pr "%a@." Forensics.pp_dump d)
+        o.Attack.at_dumps;
+      if o.Attack.at_journal <> [] then begin
+        Fmt.pr "input journal:@.";
+        List.iter (fun l -> Fmt.pr "  %s@." l) o.Attack.at_journal
+      end
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let outcomes =
+        Attack.run_matrix ~jobs:!jobs ~armed:!armed ~base_seed:!seed ~n:!n ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if !json then
+        print_endline (Json.to_string ~pretty:true (Attack.matrix_json outcomes))
+      else begin
+        section "differential attack campaigns: containment matrix";
+        print_string (Attack.render_matrix outcomes)
+      end;
+      (* wall clock to stderr: stdout stays byte-identical across --jobs *)
+      Fmt.epr "attack-matrix: %d scenarios in %.2fs (%d jobs)@."
+        (List.length outcomes) dt !jobs
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic record-replay (lib/replay).                          *)
@@ -1311,6 +1412,12 @@ let subcommands : (string * string * (string list -> unit)) list =
        campaign, farmed over N domains (default: all cores; output identical \
        for every N and for snapshot forking)",
       campaign_cmd );
+    ( "attack-matrix",
+      "attack-matrix [--jobs N] [--seed S] [--n K] [--json] [--disarm] \
+       [--replay family:model:seed]: directed attack families run \
+       differentially on CHERIoT and the MPU baseline; containment matrix \
+       with replayable failures (output identical for every N)",
+      attack_matrix_cmd );
     ( "replay",
       "replay record|verify <seed> <file>, replay diff <a> <b>: journal a \
        campaign scenario's input stream, re-run it under bit-exact \

@@ -70,6 +70,14 @@ let store t task ~addr v =
   check t task ~addr ~write:true;
   Bytes.set t.mem addr (Char.chr (v land 0xff))
 
+(* Privileged (oracle/host) accessors: physical memory, no region
+   check, no cycle charge — how a differential-test oracle inspects the
+   machine without holding any in-simulation authority. *)
+
+let load_priv t ~addr = Char.code (Bytes.get t.mem addr)
+let store_priv t ~addr v = Bytes.set t.mem addr (Char.chr (v land 0xff))
+let mem_size t = Bytes.length t.mem
+
 let domain_call t ~from ~into f =
   ignore from;
   ignore into;

@@ -52,6 +52,15 @@ val store : t -> task -> addr:int -> int -> unit
 (** Checked against the task's regions; raise [Failure "mpu fault"]
     outside them.  Charge one cycle plus the region scan. *)
 
+val load_priv : t -> addr:int -> int
+val store_priv : t -> addr:int -> int -> unit
+(** Privileged physical access: no region check, no cycle charge.  For
+    the differential-attack oracle (and scenario setup), which must
+    inspect memory without holding any in-simulation authority —
+    mirrors {!Memory.load_priv} on the CHERIoT side. *)
+
+val mem_size : t -> int
+
 val domain_call : t -> from:task -> into:task -> (unit -> 'a) -> 'a
 (** Trap into the kernel, reprogram the MPU, run, switch back —
     charging {!domain_switch_cycles} each way. *)

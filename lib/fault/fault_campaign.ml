@@ -425,10 +425,25 @@ let scenario_body img ~steps ~seed () =
       }
   end
 
-let run_scenario ?(steps = 60) ?trace ?prepare ~seed () =
+let run_scenario ?(steps = 60) ?trace ?prepare ?(from_snapshot = false) ~seed
+    () =
   match build_image ?trace ?prepare ~seed () with
   | Error (machine, e) -> boot_failed_outcome machine ~seed e
-  | Ok img -> scenario_body img ~steps ~seed ()
+  | Ok img ->
+      (* Replaying a seed from a from-snapshot campaign must walk the
+         identical path: snapshot the post-boot image, then restore and
+         reseed before running — not merely boot and run.  The fork is
+         byte-identical to a fresh boot (pinned by test_farm), but the
+         replay tool should reproduce the campaign's exact sequence of
+         machine operations, so `bench -- crashdump <seed>
+         --from-snapshot` reproduces snapshot-mode crashes
+         bit-exactly by construction. *)
+      if from_snapshot then begin
+        let snap = Machine.snapshot img.im_machine in
+        Machine.restore img.im_machine snap;
+        Fault_inject.reseed img.im_engine ~seed
+      end;
+      scenario_body img ~steps ~seed ()
 
 (* Contiguous chunks for the from-snapshot path: one shared post-boot
    image (and one snapshot) per domain. *)

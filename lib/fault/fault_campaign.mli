@@ -39,8 +39,13 @@ val iters : default:int -> int
     environment when set to a positive integer, else [default]. *)
 
 val run_scenario :
-  ?steps:int -> ?trace:Obs.t -> ?prepare:(Machine.t -> unit) -> seed:int ->
-  unit -> outcome
+  ?steps:int ->
+  ?trace:Obs.t ->
+  ?prepare:(Machine.t -> unit) ->
+  ?from_snapshot:bool ->
+  seed:int ->
+  unit ->
+  outcome
 (** One scenario.  [steps] is the driver's iteration count (default
     60); everything else derives from [seed].  [trace] attaches an
     event sink to the scenario's machine before boot; without it a
@@ -50,7 +55,12 @@ val run_scenario :
     unchanged).  [prepare] runs on the freshly created machine before
     anything else touches it — the hook the replay tooling uses to
     attach a recording or verifying input-journal session covering the
-    whole scenario, boot included. *)
+    whole scenario, boot included.  [from_snapshot] (default false)
+    replays the seed exactly the way {!run} with [~from_snapshot:true]
+    ran it: snapshot the post-boot image, restore, reseed, then run —
+    so a crash observed in a snapshot-mode campaign reproduces
+    bit-exactly by construction (regression-pinned by
+    test_fault_campaign). *)
 
 val run :
   ?verbose:bool ->

@@ -41,6 +41,7 @@ type t = {
   mutable conns : srv_conn list;
   mutable publishes : (int * string * string) list;
   mutable pods : (int * int) list;
+  mutable raws : (int * string) list;
   mutable sent : int;
   mutable received : int;
   mutable last_echo_reply : string option;
@@ -62,6 +63,7 @@ let update_wakeup t =
       let at = List.fold_left (fun a (c, _) -> min a c) max_int t.pending in
       let at = List.fold_left (fun a (c, _, _) -> min a c) at t.publishes in
       let at = List.fold_left (fun a (c, _) -> min a c) at t.pods in
+      let at = List.fold_left (fun a (c, _) -> min a c) at t.raws in
       Machine.set_listener_wakeup t.machine h ~at
 
 let broker_publish_at t ~cycles ~topic ~message =
@@ -71,6 +73,52 @@ let broker_publish_at t ~cycles ~topic ~message =
 let ping_of_death_at t ~cycles ~size =
   t.pods <- t.pods @ [ (cycles, size) ];
   update_wakeup t
+
+let inject_frame_at t ~cycles ~frame =
+  t.raws <- t.raws @ [ (cycles, frame) ];
+  update_wakeup t
+
+(* The malformed-frame family (lib/attack): the ping of death
+   generalized.  [pod_frame] is the original §5.3.3 trigger as a raw
+   frame; [tlv_frame] is a length-prefixed experimental-ethertype frame
+   whose claimed payload length need not match the data actually sent —
+   a parser that trusts the claim walks off the end of its buffer. *)
+
+let pod_frame ~size =
+  let body = String.make size 'X' in
+  P.encode_eth
+    {
+      P.eth_dst = device_mac;
+      eth_src = gateway_mac;
+      eth_type = P.ethertype_ipv4;
+      eth_payload =
+        P.encode_ipv4
+          {
+            P.ip_src = gateway_ip;
+            ip_dst = device_ip;
+            ip_proto = P.proto_icmp;
+            ip_payload =
+              P.encode_icmp
+                { P.icmp_type = P.icmp_echo_request; icmp_code = 0; icmp_body = body };
+          };
+    }
+
+let ethertype_tlv = 0x88b5 (* IEEE 802 local experimental *)
+let tlv_claim_off = 14 (* byte offset of the 4-byte LE claimed length *)
+let tlv_data_off = 18
+
+let tlv_frame ~claim ~data =
+  let hdr = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set hdr i (Char.chr ((claim lsr (8 * i)) land 0xff))
+  done;
+  P.encode_eth
+    {
+      P.eth_dst = device_mac;
+      eth_src = gateway_mac;
+      eth_type = ethertype_tlv;
+      eth_payload = Bytes.to_string hdr ^ data;
+    }
 
 let set_chaos_hook t h = t.chaos_hook <- h
 
@@ -342,10 +390,11 @@ let fire_due t now =
   List.iter
     (fun (_, size) ->
       (* Malformed oversized echo request: the "Ping of death". *)
-      let body = String.make size 'X' in
-      ip_to_device ~delay:0 t ~src_ip:gateway_ip ~proto:P.proto_icmp
-        (P.encode_icmp { P.icmp_type = P.icmp_echo_request; icmp_code = 0; icmp_body = body }))
+      to_device ~delay:0 t (pod_frame ~size))
     due_pods;
+  let due_raws, later_raws = List.partition (fun (c, _) -> c <= now) t.raws in
+  t.raws <- later_raws;
+  List.iter (fun (_, frame) -> to_device ~delay:0 t frame) due_raws;
   update_wakeup t
 
 let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_0000)
@@ -364,6 +413,7 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
       conns = [];
       publishes = [];
       pods = [];
+      raws = [];
       sent = 0;
       received = 0;
       last_echo_reply = None;
@@ -427,6 +477,7 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
       in
       let publishes = t.publishes in
       let pods = t.pods in
+      let raws = t.raws in
       let sent = t.sent and received = t.received in
       let last_echo_reply = t.last_echo_reply in
       let listener = t.listener in
@@ -454,6 +505,7 @@ let attach ?(latency = 33_000) ?(sntp_latency = 33_000) ?(mmio_base = 0x1100_000
           conns;
         t.publishes <- publishes;
         t.pods <- pods;
+        t.raws <- raws;
         t.sent <- sent;
         t.received <- received;
         t.last_echo_reply <- last_echo_reply;

@@ -68,6 +68,34 @@ val ping_of_death_at : t -> cycles:int -> size:int -> unit
 (** Schedule a malformed oversized ICMP echo request (§5.3.3's crash
     trigger). *)
 
+val inject_frame_at : t -> cycles:int -> frame:string -> unit
+(** Schedule an arbitrary raw frame — possibly malformed — for delivery
+    to the device at the given cycle (through the chaos hook and the
+    input journal, like every other delivery).  The generalization of
+    {!ping_of_death_at} the attack campaigns (lib/attack) drive. *)
+
+(* The malformed-frame family (the ping of death generalized). *)
+
+val pod_frame : size:int -> string
+(** The raw ping-of-death frame: an ICMP echo request with a [size]-byte
+    body (the §5.3.3 trigger, byte-identical to what
+    {!ping_of_death_at} delivers). *)
+
+val ethertype_tlv : int
+(** Local-experimental ethertype (0x88B5) carried by {!tlv_frame}. *)
+
+val tlv_claim_off : int
+(** Frame offset of the 4-byte little-endian claimed payload length. *)
+
+val tlv_data_off : int
+(** Frame offset of the payload data. *)
+
+val tlv_frame : claim:int -> data:string -> string
+(** A length-prefixed frame whose header *claims* [claim] payload bytes
+    regardless of how many are actually present — well-formed when
+    [claim = String.length data], an overflow exploit against any parser
+    that trusts the claim when [claim] exceeds the receive buffer. *)
+
 val set_chaos_hook : t -> (string -> chaos) option -> unit
 (** Consulted once per frame queued for delivery to the device (the
     fault-injection engine's packet drop/corrupt/duplicate/reorder

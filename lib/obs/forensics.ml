@@ -500,6 +500,16 @@ let dump_json d =
       ("rebooted", Json.Bool d.d_rebooted);
     ]
 
+(* One deterministic line per dump: what the attack matrix prints next
+   to a verdict, and what the determinism properties compare. *)
+let dump_brief d =
+  Printf.sprintf "cycle %d %s/%d: %s (addr=0x%x pc=0x%x %s)%s" d.d_cycle
+    d.d_comp d.d_thread d.d_cause
+    (if d.d_addr < 0 then 0 else d.d_addr)
+    (if d.d_pc < 0 then 0 else d.d_pc)
+    d.d_instr
+    (if d.d_handler_ran then " [handler]" else "")
+
 let pp_dump ppf d =
   let open Format in
   fprintf ppf "=== crash dump @@ cycle %d ===@." d.d_cycle;

@@ -101,6 +101,12 @@ val dumps : t -> dump list
 val dump_json : dump -> Json.t
 val pp_dump : Format.formatter -> dump -> unit
 
+val dump_brief : dump -> string
+(** One deterministic line (cycle, compartment, cause, addr, pc,
+    instruction): the forensic anchor a containment-matrix row prints
+    for each fault, and what the attack determinism properties compare
+    across runs and job counts. *)
+
 (* Streaming histograms: fixed log2 buckets, O(1) memory, simulated
    cycles only — never wall-clock. *)
 

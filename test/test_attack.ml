@@ -1,0 +1,227 @@
+(* The differential attack campaigns (lib/attack): pinned per-family
+   verdicts on both models, negative controls, and the determinism
+   contract — an outcome is a pure function of (family, model, seed,
+   armed), byte-identical across runs and across --jobs values. *)
+
+let verdict = Alcotest.testable
+    (fun ppf v -> Fmt.string ppf (Attack.verdict_name v))
+    ( = )
+
+let check_verdict ?armed ~family ~model ~seed expected =
+  let o = Attack.run_one ?armed ~family ~model ~seed () in
+  Alcotest.check verdict
+    (Printf.sprintf "%s on %s, seed %d" (Attack.family_name family)
+       (Attack.model_name model) seed)
+    expected o.Attack.at_verdict;
+  o
+
+(* --- one hand-built scenario per family, both models ------------- *)
+
+(* Use-after-free: both reach-back variants trap on CHERIoT (the
+   freed granule is revoked, so the dereference faults before any
+   revoker pass); the baseline's immediate-reuse allocator hands the
+   chunk to the victim, so the dangling read steals the reused session
+   (Owned) and the dangling write corrupts it (Corrupted_neighbour). *)
+let test_uaf () =
+  ignore
+    (check_verdict ~family:Attack.Uaf_reachback ~model:Attack.Cheriot ~seed:2
+       Attack.Trapped);
+  let stash =
+    check_verdict ~family:Attack.Uaf_reachback ~model:Attack.Cheriot ~seed:3
+      Attack.Trapped
+  in
+  Alcotest.(check bool)
+    "cheriot uaf trap leaves a crash dump naming the attacker" true
+    (List.exists
+       (fun d -> d.Forensics.d_comp = "attacker")
+       stash.Attack.at_dumps);
+  ignore
+    (check_verdict ~family:Attack.Uaf_reachback ~model:Attack.Mpu ~seed:2
+       Attack.Owned);
+  ignore
+    (check_verdict ~family:Attack.Uaf_reachback ~model:Attack.Mpu ~seed:3
+       Attack.Corrupted_neighbour)
+
+(* Type confusion: dereferencing the sealed capability traps; handing
+   a wrong-typed or forged handle to the service is contained by
+   token_unseal.  The baseline service trusts raw address handles, so
+   the attacker reads the secret or smashes the canary through it. *)
+let test_type_confusion () =
+  ignore
+    (check_verdict ~family:Attack.Type_confusion ~model:Attack.Cheriot ~seed:3
+       Attack.Trapped);
+  ignore
+    (check_verdict ~family:Attack.Type_confusion ~model:Attack.Cheriot ~seed:4
+       Attack.Contained);
+  ignore
+    (check_verdict ~family:Attack.Type_confusion ~model:Attack.Cheriot ~seed:5
+       Attack.Contained);
+  ignore
+    (check_verdict ~family:Attack.Type_confusion ~model:Attack.Mpu ~seed:2
+       Attack.Owned);
+  ignore
+    (check_verdict ~family:Attack.Type_confusion ~model:Attack.Mpu ~seed:3
+       Attack.Corrupted_neighbour)
+
+(* Malformed frames: the armed claim is always >= 80 > the 64-byte
+   reassembly buffer, so CHERIoT's exactly-bounded allocation traps the
+   copy in netd (and the injected frame is in the input journal); the
+   baseline parser overruns into the canary (write variant) or echoes
+   the secret into the reply ring (read variant, claim permitting). *)
+let test_frame_overflow () =
+  let o =
+    check_verdict ~family:Attack.Frame_overflow ~model:Attack.Cheriot ~seed:1
+      Attack.Trapped
+  in
+  Alcotest.(check bool) "netd took the bounds trap" true
+    (List.exists
+       (fun d ->
+         d.Forensics.d_comp = "netd" && d.Forensics.d_cause = "bounds violation")
+       o.Attack.at_dumps);
+  Alcotest.(check bool) "the malformed frame is journaled" true
+    (List.exists
+       (fun l ->
+         Astring.String.is_infix ~affix:"frame " l)
+       o.Attack.at_journal);
+  ignore
+    (check_verdict ~family:Attack.Frame_overflow ~model:Attack.Mpu ~seed:2
+       Attack.Corrupted_neighbour);
+  ignore
+    (check_verdict ~family:Attack.Frame_overflow ~model:Attack.Mpu ~seed:1
+       Attack.Owned)
+
+(* Secret exfiltration: the switcher zeroes stack windows on call and
+   return, so rummaging the shared stack finds nothing (Contained);
+   the out-of-bounds read variant traps.  The baseline leaks through
+   the unzeroed shared stack and through region rounding. *)
+let test_secret_exfil () =
+  ignore
+    (check_verdict ~family:Attack.Secret_exfil ~model:Attack.Cheriot ~seed:2
+       Attack.Contained);
+  ignore
+    (check_verdict ~family:Attack.Secret_exfil ~model:Attack.Cheriot ~seed:1
+       Attack.Trapped);
+  ignore
+    (check_verdict ~family:Attack.Secret_exfil ~model:Attack.Mpu ~seed:2
+       Attack.Owned);
+  ignore
+    (check_verdict ~family:Attack.Secret_exfil ~model:Attack.Mpu ~seed:1
+       Attack.Owned)
+
+(* --- negative controls ------------------------------------------- *)
+
+(* The same scenarios with the payload disarmed must classify Benign on
+   both models: an oracle that flags its own instrumentation (the
+   planted secret, the canary allocation, the honest frame) would show
+   up here. *)
+let test_negative_controls () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun model ->
+          List.iter
+            (fun seed ->
+              ignore
+                (check_verdict ~armed:false ~family ~model ~seed Attack.Benign))
+            [ 10; 11 ])
+        Attack.models)
+    Attack.families
+
+(* --- determinism -------------------------------------------------- *)
+
+(* Everything the oracle reports — verdict, evidence, journal, cycles,
+   crash-dump fields — is a pure function of (family, model, seed,
+   armed). *)
+let fingerprint o =
+  let dump d =
+    Printf.sprintf "%s|%d|%s|%d|%d|%s|%b" d.Forensics.d_comp
+      d.Forensics.d_thread d.Forensics.d_cause d.Forensics.d_addr
+      d.Forensics.d_pc d.Forensics.d_instr d.Forensics.d_handler_ran
+  in
+  (Attack.verdict_name o.Attack.at_verdict, o.Attack.at_cycles,
+   o.Attack.at_evidence, o.Attack.at_journal,
+   List.map dump o.Attack.at_dumps)
+
+let prop_outcome_deterministic =
+  let gen =
+    QCheck.make
+      ~print:(fun (f, m, seed, armed) ->
+        Printf.sprintf "%s:%s:%d armed=%b" (Attack.family_name f)
+          (Attack.model_name m) seed armed)
+      QCheck.Gen.(
+        let* f = oneofl Attack.families in
+        let* m = oneofl Attack.models in
+        let* seed = 1 -- 500 in
+        let* armed = bool in
+        return (f, m, seed, armed))
+  in
+  QCheck.Test.make
+    ~name:"same seed => identical verdict, evidence, journal, dump fields"
+    ~count:12 gen
+    (fun (family, model, seed, armed) ->
+      let a = Attack.run_one ~armed ~family ~model ~seed () in
+      let b = Attack.run_one ~armed ~family ~model ~seed () in
+      fingerprint a = fingerprint b)
+
+(* The matrix is byte-identical for every --jobs value, and ordered
+   family-major / model / seed. *)
+let test_matrix_jobs_invariant () =
+  let m1 = Attack.run_matrix ~jobs:1 ~base_seed:1 ~n:4 () in
+  let m3 = Attack.run_matrix ~jobs:3 ~base_seed:1 ~n:4 () in
+  Alcotest.(check int) "same cell count" (List.length m1) (List.length m3);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %s:%s:%d identical across jobs"
+           (Attack.family_name a.Attack.at_family)
+           (Attack.model_name a.Attack.at_model) a.Attack.at_seed)
+        true
+        (a.Attack.at_family = b.Attack.at_family
+        && a.Attack.at_model = b.Attack.at_model
+        && a.Attack.at_seed = b.Attack.at_seed
+        && fingerprint a = fingerprint b))
+    m1 m3;
+  Alcotest.(check string)
+    "rendered matrix identical across jobs" (Attack.render_matrix m1)
+    (Attack.render_matrix m3)
+
+(* --- the differential claim -------------------------------------- *)
+
+let test_strictly_better () =
+  let outcomes = Attack.run_matrix ~jobs:2 ~base_seed:1 ~n:6 () in
+  let better = Attack.cheriot_strictly_better outcomes in
+  Alcotest.(check (list string))
+    "cheriot strictly better on every family"
+    (List.map Attack.family_name Attack.families)
+    (List.map Attack.family_name better);
+  (* every containment failure is a baseline cell and carries evidence *)
+  let failures = Attack.containment_failures outcomes in
+  Alcotest.(check bool) "failures exist on the baseline" true (failures <> []);
+  List.iter
+    (fun o ->
+      Alcotest.(check string)
+        "no containment failure on cheriot" "mpu"
+        (Attack.model_name o.Attack.at_model);
+      Alcotest.(check bool) "failure carries evidence" true
+        (o.Attack.at_evidence <> []))
+    failures
+
+let suite =
+  [
+    Alcotest.test_case "uaf reach-back, both models" `Quick test_uaf;
+    Alcotest.test_case "interface type confusion, both models" `Quick
+      test_type_confusion;
+    Alcotest.test_case "malformed-frame overflow, both models" `Quick
+      test_frame_overflow;
+    Alcotest.test_case "stack-secret exfiltration, both models" `Quick
+      test_secret_exfil;
+    Alcotest.test_case "negative controls are benign everywhere" `Quick
+      test_negative_controls;
+    Qcheck_seed.to_alcotest prop_outcome_deterministic;
+    Alcotest.test_case "matrix byte-identical across --jobs" `Quick
+      test_matrix_jobs_invariant;
+    Alcotest.test_case "cheriot strictly better, failures replayable" `Quick
+      test_strictly_better;
+  ]
+
+let () = Alcotest.run "cheriot_attack" [ ("attack", suite) ]
