@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-seeds report-smoke replay-smoke attack-smoke ci campaign campaign-par bench perf perf-gate clean
+.PHONY: all build test test-seeds report-smoke profile-smoke replay-smoke attack-smoke ci campaign campaign-par bench perf perf-gate clean
 
 all: build
 
@@ -35,6 +35,16 @@ report-smoke: build
 	dune exec bench/main.exe -- crashdump 7 >/dev/null
 	@echo "report-smoke: report matches golden, crashdump replays"
 
+# Profiler smoke: the exact-attribution folded stacks of the fixed
+# workload must match the committed golden byte-for-byte (the profile
+# command itself exits non-zero if the total weight does not reconcile
+# with Machine.cycles), and sampled mode must produce well-formed
+# output without erroring.
+profile-smoke: build
+	@dune exec bench/main.exe -- profile producer_consumer 2>/dev/null | diff test/golden_profile.expected -
+	@dune exec bench/main.exe -- profile producer_consumer --interval 100 >/dev/null 2>&1
+	@echo "profile-smoke: folded stacks match golden, weight reconciles"
+
 # Record-replay smoke: journal a campaign scenario's input stream,
 # re-run it under bit-exact verification, and diff the journal against
 # the committed golden (any drift in IRQ timing, frame delivery or
@@ -56,9 +66,12 @@ attack-smoke: build
 	@dune exec bench/main.exe -- attack-matrix --seed 1 --n 6 --jobs 4 2>/dev/null > _build/attack_j4.out
 	@diff _build/attack_j1.out _build/attack_j4.out
 	@diff test/golden_attack_matrix.expected _build/attack_j1.out
-	@echo "attack-smoke: --jobs 4 identical to --jobs 1, matrix matches golden"
+	@dune exec bench/main.exe -- attack-matrix --seed 1 --n 6 --jobs 1 --fleet-metrics 2>/dev/null > _build/attack_fm_j1.out
+	@dune exec bench/main.exe -- attack-matrix --seed 1 --n 6 --jobs 4 --fleet-metrics 2>/dev/null > _build/attack_fm_j4.out
+	@diff _build/attack_fm_j1.out _build/attack_fm_j4.out
+	@echo "attack-smoke: --jobs 4 identical to --jobs 1 (with and without fleet metrics), matrix matches golden"
 
-ci: build test test-seeds report-smoke replay-smoke campaign-par attack-smoke perf-gate perf
+ci: build test test-seeds report-smoke profile-smoke replay-smoke campaign-par attack-smoke perf-gate perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 # Farmed across all cores by default; --jobs 1 forces the sequential path.
@@ -72,7 +85,10 @@ campaign-par: build
 	@FAULT_CAMPAIGN_ITERS=8 dune exec bench/main.exe -- campaign --jobs 1 2>/dev/null > _build/campaign_j1.out
 	@FAULT_CAMPAIGN_ITERS=8 dune exec bench/main.exe -- campaign --jobs 4 2>/dev/null > _build/campaign_j4.out
 	@diff _build/campaign_j1.out _build/campaign_j4.out
-	@echo "campaign-par: --jobs 4 output identical to --jobs 1"
+	@FAULT_CAMPAIGN_ITERS=8 dune exec bench/main.exe -- campaign --jobs 1 --fleet-metrics 2>/dev/null > _build/campaign_fm_j1.out
+	@FAULT_CAMPAIGN_ITERS=8 dune exec bench/main.exe -- campaign --jobs 4 --fleet-metrics 2>/dev/null > _build/campaign_fm_j4.out
+	@diff _build/campaign_fm_j1.out _build/campaign_fm_j4.out
+	@echo "campaign-par: --jobs 4 output identical to --jobs 1 (with and without fleet metrics)"
 
 bench:
 	dune exec bench/main.exe

@@ -602,7 +602,7 @@ let bechamel_tests () =
 (* Long-mode fault-injection campaign (the quick 8-scenario version
    runs under `dune runtest`): 200 seeded scenarios by default,
    FAULT_CAMPAIGN_ITERS overrides, any failing seed replays exactly. *)
-let campaign ?(jobs = 1) ?(from_snapshot = false) () =
+let campaign ?(jobs = 1) ?(from_snapshot = false) ?(fleet_metrics = false) () =
   let n = Fault_campaign.iters ~default:200 in
   section
     (Fmt.str "Fault-injection campaign (%d scenarios, seeds 1..%d)" n n);
@@ -622,6 +622,15 @@ let campaign ?(jobs = 1) ?(from_snapshot = false) () =
   Fmt.pr "  simulated cycles       %10d@."
     (sum (fun o -> o.Fault_campaign.oc_cycles));
   Fmt.pr "  invariant violations   %10d@." failures;
+  (* The fleet rollup merges per-scenario Agg snapshots in submission
+     order — outcomes arrive from Fault_campaign.run already in that
+     order for every --jobs, so this block is byte-identical too (the
+     campaign-par smoke target diffs it with the flag on). *)
+  if fleet_metrics then
+    print_string
+      (Agg.table
+         (Agg.merge_all
+            (List.map (fun o -> o.Fault_campaign.oc_metrics) outcomes)));
   (* Wall clock goes to stderr: stdout must be byte-identical for every
      --jobs value (the campaign-par smoke target diffs it). *)
   Fmt.epr "campaign: %d jobs%s, wall clock %.1f s@." jobs
@@ -632,6 +641,7 @@ let campaign ?(jobs = 1) ?(from_snapshot = false) () =
 let campaign_cmd args =
   let jobs = ref (Farm.default_jobs ()) in
   let from_snapshot = ref false in
+  let fleet_metrics = ref false in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: v :: rest -> (
@@ -645,12 +655,16 @@ let campaign_cmd args =
     | "--from-snapshot" :: rest ->
         from_snapshot := true;
         parse rest
+    | "--fleet-metrics" :: rest ->
+        fleet_metrics := true;
+        parse rest
     | a :: _ ->
         Fmt.epr "campaign: unknown argument %s@." a;
         exit 1
   in
   parse args;
-  campaign ~jobs:!jobs ~from_snapshot:!from_snapshot ()
+  campaign ~jobs:!jobs ~from_snapshot:!from_snapshot
+    ~fleet_metrics:!fleet_metrics ()
 
 (* ------------------------------------------------------------------ *)
 (* Cycle-attributed tracing (lib/obs): run a workload under a trace   *)
@@ -684,10 +698,12 @@ let pc_firmware () =
         ~imports:System.standard_imports;
     ]
 
-(* A machine with both observability layers attached: reuse the
-   CHERIOT_TRACE / CHERIOT_FORENSICS auto attachments when present so
-   the env knobs and the subcommands agree on a single event stream. *)
-let observed_machine () =
+(* A machine with the observability layers attached: reuse the
+   CHERIOT_TRACE / CHERIOT_FORENSICS / CHERIOT_PROFILE auto attachments
+   when present so the env knobs and the subcommands agree on a single
+   event stream.  [?profile] forces a profiler with the given mode
+   (the `profile` subcommand's --interval). *)
+let observed_machine ?profile () =
   let machine = Machine.create () in
   let obs =
     match Machine.trace machine with
@@ -705,6 +721,9 @@ let observed_machine () =
         Machine.set_forensics machine (Some f);
         f
   in
+  (match profile with
+  | Some mode -> Machine.set_profiler machine (Some (Profiler.create ~mode ()))
+  | None -> ());
   (machine, obs, frn)
 
 (* Allocation churn through a quota'd compartment with enough free ->
@@ -726,9 +745,9 @@ let churn_firmware () =
           (System.standard_imports @ [ F.Static_sealed { target = "churn_quota" } ]);
     ]
 
-let run_workload = function
+let run_workload ?profile = function
   | "producer_consumer" ->
-      let machine, obs, frn = observed_machine () in
+      let machine, obs, frn = observed_machine ?profile () in
       let sys = Result.get_ok (System.boot ~machine (pc_firmware ())) in
       let k = sys.System.kernel in
       let readings = 6 in
@@ -766,7 +785,7 @@ let run_workload = function
       System.run sys;
       (machine, obs, frn)
   | "alloc_churn" ->
-      let machine, obs, frn = observed_machine () in
+      let machine, obs, frn = observed_machine ?profile () in
       let sys = Result.get_ok (System.boot ~machine (churn_firmware ())) in
       let k = sys.System.kernel in
       Kernel.implement1 k ~comp:"churn" ~entry:"run" (fun ctx _ ->
@@ -803,6 +822,14 @@ let run_workload = function
           Cap.null);
       System.run sys;
       Machine.run_revoker_to_completion machine;
+      (machine, obs, frn)
+  | "iot" | "fig7" ->
+      (* The Fig. 7 IoT case study (fast phase scaling: same phases,
+         same ping-of-death and micro-reboot, ~50x shrunk sleeps) on an
+         observed machine — the workload behind the worked flamegraph
+         in EXPERIMENTS.md. *)
+      let machine, obs, frn = observed_machine ?profile () in
+      ignore (Iot_scenario.run ~fast:true ~machine ());
       (machine, obs, frn)
   | other -> failwith ("unknown trace workload " ^ other)
 
@@ -846,17 +873,112 @@ let trace_cmd args =
       close_out oc;
       Fmt.pr "wrote Chrome trace_event JSON to %s@." f
 
+(* Metrics: the flat per-source/per-kind counter table (pinned by
+   test/golden_trace.expected), or — with --openmetrics — the Agg fleet
+   snapshot of this one machine as Prometheus text exposition.  --out
+   redirects either rendering to a file, matching `-- trace`. *)
 let metrics_cmd args =
+  let openmetrics = ref false in
+  let out = ref None in
+  let rec split acc = function
+    | "--openmetrics" :: rest ->
+        openmetrics := true;
+        split acc rest
+    | "--out" :: f :: rest ->
+        out := Some f;
+        split acc rest
+    | a :: rest -> split (a :: acc) rest
+    | [] -> List.rev acc
+  in
   let workload =
-    match args with
+    match split [] args with
     | [] -> "producer_consumer"
     | [ w ] -> w
-    | _ -> failwith "usage: metrics <workload>"
+    | _ -> failwith "usage: metrics <workload> [--openmetrics] [--out f]"
   in
-  let machine, obs, _ = run_workload workload in
-  print_endline
-    (Json.to_string ~pretty:true
-       (Obs.metrics ~total_cycles:(Machine.cycles machine) obs))
+  let machine, obs, frn = run_workload workload in
+  let text =
+    if !openmetrics then
+      Agg.to_openmetrics
+        (Agg.of_forensics frn ~cycles:(Machine.cycles machine))
+    else
+      Json.to_string ~pretty:true
+        (Obs.metrics ~total_cycles:(Machine.cycles machine) obs)
+      ^ "\n"
+  in
+  match !out with
+  | None -> print_string text
+  | Some f ->
+      let oc = open_out f in
+      output_string oc text;
+      close_out oc;
+      Fmt.pr "wrote %s metrics to %s@."
+        (if !openmetrics then "OpenMetrics" else "JSON")
+        f
+
+(* Deterministic profiling: run a workload with the sampling profiler
+   attached and print the folded stacks (flamegraph.pl / speedscope
+   input) on stdout — pinned by test/golden_profile.expected via `make
+   profile-smoke`.  In exact mode (the default) the total weight must
+   reconcile with Machine.cycles to the cycle; `profile` enforces that
+   itself and fails loudly on a mismatch.  --interval N switches to
+   sampled mode (one sample per N simulated cycles); --out writes the
+   self-contained JSON profile. *)
+let profile_cmd args =
+  let interval = ref None in
+  let out = ref None in
+  let rec split acc = function
+    | "--interval" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 2 ->
+            interval := Some n;
+            split acc rest
+        | _ ->
+            Fmt.epr "profile: --interval expects an integer >= 2, got %s@." v;
+            exit 1)
+    | "--out" :: f :: rest ->
+        out := Some f;
+        split acc rest
+    | a :: rest -> split (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let workload =
+    match split [] args with
+    | [] -> "producer_consumer"
+    | [ w ] -> w
+    | _ -> failwith "usage: profile <workload> [--interval N] [--out f]"
+  in
+  let mode =
+    match !interval with
+    | Some n -> Profiler.Sampled n
+    | None -> Profiler.Exact
+  in
+  let machine, _, _ = run_workload ~profile:mode workload in
+  let prof = Option.get (Machine.profiler machine) in
+  let total_cycles = Machine.cycles machine in
+  print_string (Profiler.to_folded_text prof ~total_cycles);
+  let weight = Profiler.total_weight prof ~total_cycles in
+  (* summary to stderr: stdout stays pure folded-stack lines *)
+  Fmt.epr "profile: %s, total weight %d of %d cycles@."
+    (match mode with
+    | Profiler.Exact -> "exact attribution"
+    | Profiler.Sampled n -> Printf.sprintf "sampled every %d cycles" n)
+    weight total_cycles;
+  (match mode with
+  | Profiler.Exact when weight <> total_cycles ->
+      Fmt.epr "profile: RECONCILIATION FAILED (weight %d <> cycles %d)@."
+        weight total_cycles;
+      exit 1
+  | _ -> ());
+  match !out with
+  | None -> ()
+  | Some f ->
+      let oc = open_out f in
+      output_string oc
+        (Json.to_string ~pretty:true (Profiler.to_json prof ~total_cycles));
+      output_string oc "\n";
+      close_out oc;
+      Fmt.epr "wrote profile JSON to %s@." f
 
 (* The per-compartment health report (Forensics): dumps + histograms +
    the PR 3 attribution fold, in text then JSON.  Deterministic for a
@@ -978,6 +1100,7 @@ let attack_matrix_cmd args =
   let n = ref 6 in
   let json = ref false in
   let armed = ref true in
+  let fleet_metrics = ref false in
   let replay = ref None in
   let int_arg name v k rest parse_rest =
     match int_of_string_opt v with
@@ -998,6 +1121,9 @@ let attack_matrix_cmd args =
         parse rest
     | "--disarm" :: rest ->
         armed := false;
+        parse rest
+    | "--fleet-metrics" :: rest ->
+        fleet_metrics := true;
         parse rest
     | "--replay" :: v :: rest ->
         (match String.split_on_char ':' v with
@@ -1055,6 +1181,15 @@ let attack_matrix_cmd args =
         section "differential attack campaigns: containment matrix";
         print_string (Attack.render_matrix outcomes)
       end;
+      (* Opt-in fleet rollup of the CHERIoT runs' metrics snapshots,
+         merged in submission order — byte-identical at any --jobs (the
+         attack-smoke fleet diff pins it); opt-in so the default stdout
+         stays pinned by test/golden_attack_matrix.expected. *)
+      if !fleet_metrics then
+        print_string
+          (Agg.table
+             (Agg.merge_all
+                (List.map (fun o -> o.Attack.at_metrics) outcomes)));
       (* wall clock to stderr: stdout stays byte-identical across --jobs *)
       Fmt.epr "attack-matrix: %d scenarios in %.2fs (%d jobs)@."
         (List.length outcomes) dt !jobs
@@ -1395,10 +1530,19 @@ let experiments : (string * string * (unit -> unit)) list =
 
 let subcommands : (string * string * (string list -> unit)) list =
   [
-    ("trace", "trace <workload>: dump the event ring (text + Chrome JSON)",
+    ("trace",
+     "trace <workload>: dump the event ring (text + Chrome JSON); workloads: \
+      producer_consumer alloc_churn iot",
      trace_cmd);
-    ("metrics", "metrics <workload>: cycle-attribution metrics as JSON",
-     metrics_cmd);
+    ( "metrics",
+      "metrics <workload> [--openmetrics] [--out f]: cycle-attribution \
+       metrics as JSON, or the fleet snapshot as OpenMetrics text",
+      metrics_cmd );
+    ( "profile",
+      "profile <workload> [--interval N] [--out f]: deterministic profiler; \
+       folded stacks on stdout (flamegraph.pl input), JSON with --out; \
+       exact cycle attribution by default, sampled every N with --interval",
+      profile_cmd );
     ( "report",
       "report <workload>: per-compartment health report (text + JSON)",
       report_cmd );
@@ -1408,15 +1552,17 @@ let subcommands : (string * string * (string list -> unit)) list =
        before each fault",
       crashdump_cmd );
     ( "campaign",
-      "campaign [--jobs N] [--from-snapshot]: seeded fault-injection \
-       campaign, farmed over N domains (default: all cores; output identical \
-       for every N and for snapshot forking)",
+      "campaign [--jobs N] [--from-snapshot] [--fleet-metrics]: seeded \
+       fault-injection campaign, farmed over N domains (default: all cores; \
+       output identical for every N and for snapshot forking), optionally \
+       with the merged fleet metrics rollup",
       campaign_cmd );
     ( "attack-matrix",
       "attack-matrix [--jobs N] [--seed S] [--n K] [--json] [--disarm] \
-       [--replay family:model:seed]: directed attack families run \
-       differentially on CHERIoT and the MPU baseline; containment matrix \
-       with replayable failures (output identical for every N)",
+       [--fleet-metrics] [--replay family:model:seed]: directed attack \
+       families run differentially on CHERIoT and the MPU baseline; \
+       containment matrix with replayable failures (output identical for \
+       every N), optionally with the merged fleet metrics rollup",
       attack_matrix_cmd );
     ( "replay",
       "replay record|verify <seed> <file>, replay diff <a> <b>: journal a \

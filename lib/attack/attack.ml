@@ -63,6 +63,7 @@ type outcome = {
   at_cycles : int;
   at_dumps : Forensics.dump list;
   at_journal : string list;
+  at_metrics : Agg.t;
 }
 
 (* The victim's 8-byte secret (a TLS session key stand-in) and its heap
@@ -464,6 +465,7 @@ let run_cheriot img ~family ~armed ~seed =
     at_cycles = Machine.cycles machine;
     at_dumps = dumps;
     at_journal = List.rev !journal;
+    at_metrics = Agg.of_forensics img.ai_frn ~cycles:(Machine.cycles machine);
   }
 
 (* One shared post-boot image (and one snapshot) per chunk: the image
@@ -751,6 +753,7 @@ let run_mpu ~family ~armed ~seed =
     at_cycles = B.cycles w;
     at_dumps = [];
     at_journal = [];
+    at_metrics = Agg.empty ();
   }
 
 (* ------------------------------------------------------------------ *)

@@ -85,6 +85,10 @@ type outcome = {
   at_journal : string list;
       (** machine input journal — cycle-stamped frame deliveries and
           IRQ raises (empty on [Mpu], which has no input boundary) *)
+  at_metrics : Agg.t;
+      (** metrics snapshot of this run ([Agg.empty] on [Mpu], which has
+          no flight recorder); merged in submission order for the
+          fleet rollup *)
 }
 
 val run_one :

@@ -27,6 +27,7 @@ type outcome = {
   oc_violations : string list;
   oc_trace : string list;
   oc_dumps : Forensics.dump list;
+  oc_metrics : Agg.t;
 }
 
 let iters ~default =
@@ -217,6 +218,10 @@ let boot_failed_outcome machine ~seed e =
     oc_violations = [ "boot failed: " ^ e ];
     oc_trace = [];
     oc_dumps = [];
+    oc_metrics =
+      (match Machine.forensics machine with
+      | Some f -> Agg.of_forensics f ~cycles:(Machine.cycles machine)
+      | None -> Agg.empty ());
   }
 
 let build_image ?trace ?prepare ~seed () =
@@ -422,6 +427,7 @@ let scenario_body img ~steps ~seed () =
         oc_violations = !violations;
         oc_trace = trace_lines;
         oc_dumps = dumps;
+        oc_metrics = Agg.of_forensics frn ~cycles:(Machine.cycles machine);
       }
   end
 

@@ -32,6 +32,10 @@ type outcome = {
       (** flight-recorder crash dumps, oldest first — one per injected
           crash (enforced as a campaign invariant, along with every dump
           blaming the injected target) *)
+  oc_metrics : Agg.t;
+      (** this scenario's metrics snapshot (per-compartment counters +
+          histograms); [Agg.merge_all] over outcomes in submission
+          order gives the fleet rollup, byte-identical at any [--jobs] *)
 }
 
 val iters : default:int -> int

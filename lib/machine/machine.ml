@@ -75,7 +75,8 @@ type t = {
   mutable horizon : int;  (* next cycle at which anything can happen; 0 = stale *)
   mutable attention : bool;  (* sticky slow-path request (kernel preemption) *)
   mutable obs : Obs.t option;  (* trace sink; never affects simulation *)
-  mutable frn : Forensics.t option;  (* flight recorder; rides the trace *)
+  mutable frn : Forensics.t option;  (* flight recorder *)
+  mutable prof : Profiler.t option;  (* sampling profiler *)
   rev_futex : int ref;
   mutable input_log : (cycle:int -> string -> unit) option;
       (* replay-journal tap (lib/replay): IRQ raises, injected frames,
@@ -101,18 +102,26 @@ let dirty m = m.horizon <- 0
 
 let set_trace m o = m.obs <- o
 let trace m = m.obs
-let tracing m = m.obs <> None
 let set_forensics m f = m.frn <- f
 let forensics m = m.frn
+let set_profiler m p = m.prof <- p
+let profiler m = m.prof
+
+(* Any attached consumer makes the emitters produce events; the three
+   sinks are independent (each of CHERIOT_TRACE / CHERIOT_FORENSICS /
+   CHERIOT_PROFILE works alone or in any combination). *)
+let tracing m = m.obs <> None || m.frn <> None || m.prof <> None
 
 let emit m kind =
-  match m.obs with
+  (match m.obs with
   | None -> ()
-  | Some o -> (
-      Obs.emit o ~cycle:m.cycles kind;
-      match m.frn with
-      | None -> ()
-      | Some f -> Forensics.ingest f ~cycle:m.cycles kind)
+  | Some o -> Obs.emit o ~cycle:m.cycles kind);
+  (match m.frn with
+  | None -> ()
+  | Some f -> Forensics.ingest f ~cycle:m.cycles kind);
+  match m.prof with
+  | None -> ()
+  | Some p -> Profiler.ingest p ~cycle:m.cycles kind
 
 let no_listener =
   { lk_fn = ignore; lk_period = 0; lk_next = max_int; lk_alive = false }
@@ -262,13 +271,13 @@ let revoker_advance m n =
         | Some _ | None -> continue := false
       done;
       s.next <- stop;
-      if take > 0 && m.obs <> None then
+      if take > 0 && tracing m then
         emit m (Obs.Revoker_quantum { granules = take; next = stop });
       if s.next >= total then begin
         m.rev_state <- Idle;
         m.rev_epoch <- m.rev_epoch + 1;
         incr m.rev_futex;
-        if m.obs <> None then emit m (Obs.Revoker_done { epoch = m.rev_epoch });
+        if tracing m then emit m (Obs.Revoker_done { epoch = m.rev_epoch });
         raise_irq m revoker_irq
       end
 
@@ -318,15 +327,13 @@ let create ?(sram_base = 0x2000_0000) ?(sram_size = 256 * 1024) () =
       horizon = 0;
       attention = false;
       obs = Obs.auto ();
-      frn = None;
+      frn = Forensics.auto ();
+      prof = Profiler.auto ();
       rev_futex = ref 0;
       input_log = None;
       snaps = [];
     }
   in
-  (* The flight recorder rides the trace stream: only attach one when a
-     trace sink exists (Forensics.ingest is fed from [emit]). *)
-  if m.obs <> None then m.frn <- Forensics.auto ();
   (* A tag appearing in memory is the one event the lazy revoker cannot
      anticipate.  Settle the in-flight sweep against the pre-store tag
      state first, so deferred sweep cycles that already elapsed can never
@@ -357,9 +364,9 @@ let deliver m =
                 in
                 let n = first 0 in
                 m.pending <- m.pending land lnot (1 lsl n);
-                if m.obs <> None then emit m (Obs.Irq_enter { irq = n });
+                if tracing m then emit m (Obs.Irq_enter { irq = n });
                 hook n;
-                if m.obs <> None then emit m (Obs.Irq_exit { irq = n });
+                if tracing m then emit m (Obs.Irq_exit { irq = n });
                 drain ()
               end
             in
@@ -575,11 +582,15 @@ let snapshot m =
   let rev_futex_v = !(m.rev_futex) in
   let obs = m.obs in
   let frn = m.frn in
+  let prof = m.prof in
   let input_log = m.input_log in
   let snaps = m.snaps in
   let obs_r = match m.obs with Some o -> Obs.snapshot o | None -> ignore in
   let frn_r =
     match m.frn with Some f -> Forensics.snapshot f | None -> ignore
+  in
+  let prof_r =
+    match m.prof with Some p -> Profiler.snapshot p | None -> ignore
   in
   let listeners = Array.sub m.listeners 0 m.n_listeners in
   let lstate = Array.map (fun l -> (l.lk_next, l.lk_alive)) listeners in
@@ -609,10 +620,12 @@ let snapshot m =
     m.rev_futex := rev_futex_v;
     m.obs <- obs;
     m.frn <- frn;
+    m.prof <- prof;
     m.input_log <- input_log;
     m.snaps <- snaps;
     obs_r ();
     frn_r ();
+    prof_r ();
     (* Exactly the snapshot-time listeners, with their scheduling state;
        listeners registered after the snapshot are forgotten (their
        handles stay inert: a dead slot is never called). *)

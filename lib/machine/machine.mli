@@ -133,31 +133,44 @@ val request_attention : t -> unit
     next event-path tick.  Used by the kernel when a preemption decision
     is pending but cannot be taken yet. *)
 
-(* Tracing — see {!Obs}.  Attaching a sink is observationally invisible:
-   emission never ticks the clock, touches simulated memory or perturbs
-   the event horizon, so simulated cycle counts are bit-identical with
-   tracing on or off (enforced by the traced golden-cycles rule and
-   test_obs_props). *)
+(* Observability — see {!Obs}, {!Forensics}, {!Profiler}.  Attaching any
+   sink is observationally invisible: emission never ticks the clock,
+   touches simulated memory or perturbs the event horizon, so simulated
+   cycle counts are bit-identical with sinks on or off (enforced by the
+   golden-cycles rules in bench/dune and test_obs_props).
+
+   Environment auto-attach (the one place this is documented): [create]
+   consults three variables {e independently} — [CHERIOT_TRACE]
+   (trace ring, {!Obs.auto}, sized by [CHERIOT_TRACE_CAP]),
+   [CHERIOT_FORENSICS] (flight recorder, {!Forensics.auto}) and
+   [CHERIOT_PROFILE] (profiler, {!Profiler.auto}; ["1"] = exact
+   attribution, an integer [n >= 2] = sample every [n] cycles).  Each
+   attaches if and only if its own variable asks for it, so all eight
+   combinations compose; {!emit} forwards every event to each attached
+   sink, and {!tracing} answers [true] when at least one is attached. *)
 
 val set_trace : t -> Obs.t option -> unit
 val trace : t -> Obs.t option
-(** The attached sink.  [create] attaches one automatically when the
-    [CHERIOT_TRACE] environment variable asks for it ({!Obs.auto}). *)
+(** The attached trace ring. *)
 
 val tracing : t -> bool
+(** Whether any sink (trace ring, flight recorder or profiler) is
+    attached — the gate every emitter tests before building an event. *)
 
 val set_forensics : t -> Forensics.t option -> unit
 val forensics : t -> Forensics.t option
-(** The attached flight recorder ({!Forensics}).  It rides the trace
-    stream — {!emit} forwards every event to it — so it only sees events
-    while a trace sink is also attached.  [create] attaches one when the
-    [CHERIOT_FORENSICS] environment variable asks for it and a trace
-    sink is present.  Same invisibility contract as tracing. *)
+(** The attached flight recorder ({!Forensics}).  Fed from {!emit}
+    like the trace ring, but independent of it. *)
+
+val set_profiler : t -> Profiler.t option -> unit
+val profiler : t -> Profiler.t option
+(** The attached sampling profiler ({!Profiler}).  Fed from {!emit},
+    independent of the other sinks. *)
 
 val emit : t -> Obs.kind -> unit
-(** Append an event stamped with the current cycle; no-op without a
-    sink.  Hot paths should test {!tracing} first so the event payload
-    is not even allocated when tracing is off. *)
+(** Append an event stamped with the current cycle to every attached
+    sink; no-op without one.  Hot paths should test {!tracing} first so
+    the event payload is not even allocated when no sink is attached. *)
 
 (* MMIO *)
 

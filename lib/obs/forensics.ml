@@ -64,6 +64,31 @@ let hist_quantile h q =
     max (hist_min h) (min h.h_max !est)
   end
 
+(* Merge is the monoid induced by [hist_add]: counts/sums/buckets add,
+   min/max combine — exact because the empty histogram's sentinels are
+   max_int/min_int, so [hist_create] is a true identity and the QCheck
+   algebra (associativity, commutativity, merge == concatenated
+   ingestion) holds on the raw fields. *)
+let hist_merge a b =
+  let h = hist_create () in
+  h.h_n <- a.h_n + b.h_n;
+  h.h_sum <- a.h_sum + b.h_sum;
+  h.h_min <- min a.h_min b.h_min;
+  h.h_max <- max a.h_max b.h_max;
+  for i = 0 to nbuckets - 1 do
+    h.h_buckets.(i) <- a.h_buckets.(i) + b.h_buckets.(i)
+  done;
+  h
+
+let hist_copy a = hist_merge a (hist_create ())
+
+let hist_buckets h =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then acc := (bucket_upper i, h.h_buckets.(i)) :: !acc
+  done;
+  !acc
+
 let hist_json h =
   let buckets =
     let acc = ref [] in
@@ -190,6 +215,12 @@ let call_latency t = t.call_lat
 let irq_latency t = t.irq_lat
 let alloc_size t = t.alloc_sz
 let quarantine_residency t = t.quar_res
+
+let comp_counters t =
+  Hashtbl.fold
+    (fun k s acc -> (k, s.cs_calls, s.cs_faults, s.cs_reboots) :: acc)
+    t.stats []
+  |> List.sort compare
 
 let stat t comp =
   match Hashtbl.find_opt t.stats comp with

@@ -124,6 +124,22 @@ val hist_quantile : hist -> float -> int
     whose cumulative count reaches the rank, clamped to the observed
     [min]/[max].  0 on an empty histogram. *)
 
+val hist_copy : hist -> hist
+(** An independent deep copy. *)
+
+val hist_merge : hist -> hist -> hist
+(** A fresh histogram equal to ingesting both inputs' observation
+    streams (counts, sums and buckets add; min/max combine).  Exact,
+    not approximate — log2 buckets are loss-free under union — hence
+    associative and commutative with {!hist_create} as identity (the
+    QCheck algebra in [test/test_forensics.ml]), which is what lets
+    fleet rollups ({!Agg}) merge per-machine histograms in any
+    grouping.  Inputs are not mutated. *)
+
+val hist_buckets : hist -> (int * int) list
+(** Non-empty buckets as [(upper_bound, count)] pairs, ascending —
+    the raw material of OpenMetrics cumulative-bucket rendering. *)
+
 val hist_json : hist -> Json.t
 (** [{count; sum; min; max; p50; p99; buckets}] with only the non-empty
     buckets listed as upper-bound/count pairs. *)
@@ -132,6 +148,10 @@ val call_latency : t -> hist  (** Call_enter → Call_leave, per call *)
 val irq_latency : t -> hist  (** Irq_enter → next Thread_dispatch *)
 val alloc_size : t -> hist  (** bytes per successful allocation *)
 val quarantine_residency : t -> hist  (** Quarantine → Release, per chunk *)
+
+val comp_counters : t -> (string * int * int * int) list
+(** Per-compartment [(name, calls, faults, reboots)], sorted by name —
+    the counter snapshot {!Agg} merges across machines. *)
 
 (* The per-compartment health report *)
 

@@ -71,6 +71,73 @@ let test_hist_empty () =
   Alcotest.(check int) "p50 of empty" 0 (Forensics.hist_quantile h 0.5)
 
 (* -------------------------------------------------------------------- *)
+(* Merge algebra (the fleet-rollup building block): merging equals
+   ingesting the concatenated streams, and merge is associative and
+   commutative with the empty histogram as identity.                    *)
+
+let hist_of samples =
+  let h = Forensics.hist_create () in
+  List.iter (Forensics.hist_add h) samples;
+  h
+
+(* Full observable equality: counters, both quantile probes and the
+   bucket list. *)
+let hist_eq a b =
+  Forensics.hist_count a = Forensics.hist_count b
+  && Forensics.hist_sum a = Forensics.hist_sum b
+  && Forensics.hist_min a = Forensics.hist_min b
+  && Forensics.hist_max a = Forensics.hist_max b
+  && Forensics.hist_buckets a = Forensics.hist_buckets b
+  && List.for_all
+       (fun q -> Forensics.hist_quantile a q = Forensics.hist_quantile b q)
+       [ 0.0; 0.5; 0.99; 1.0 ]
+
+let gen_two = QCheck.Gen.(pair gen_samples gen_samples)
+let gen_three = QCheck.Gen.(triple gen_samples gen_samples gen_samples)
+let pr l = String.concat "," (List.map string_of_int l)
+
+let prop_merge_is_concat_ingest =
+  QCheck.Test.make
+    ~name:"hist merge equals ingesting the concatenated streams" ~count:200
+    (QCheck.make ~print:(fun (a, b) -> pr a ^ " | " ^ pr b) gen_two)
+    (fun (xs, ys) ->
+      hist_eq
+        (Forensics.hist_merge (hist_of xs) (hist_of ys))
+        (hist_of (xs @ ys)))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"hist merge is commutative" ~count:200
+    (QCheck.make ~print:(fun (a, b) -> pr a ^ " | " ^ pr b) gen_two)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      hist_eq (Forensics.hist_merge a b) (Forensics.hist_merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"hist merge is associative" ~count:200
+    (QCheck.make
+       ~print:(fun (a, b, c) -> pr a ^ " | " ^ pr b ^ " | " ^ pr c)
+       gen_three)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      hist_eq
+        (Forensics.hist_merge (Forensics.hist_merge a b) c)
+        (Forensics.hist_merge a (Forensics.hist_merge b c)))
+
+let prop_merge_identity =
+  QCheck.Test.make
+    ~name:"empty histogram is the merge identity; inputs not mutated"
+    ~count:200
+    (QCheck.make ~print:pr gen_samples)
+    (fun xs ->
+      let a = hist_of xs in
+      let before = Forensics.hist_buckets a in
+      let merged = Forensics.hist_merge a (Forensics.hist_create ()) in
+      hist_eq merged a
+      && hist_eq (Forensics.hist_merge (Forensics.hist_create ()) a) a
+      && hist_eq (Forensics.hist_copy a) a
+      && Forensics.hist_buckets a = before)
+
+(* -------------------------------------------------------------------- *)
 (* Ingest mechanics on a hand-fed event stream: call latency, IRQ
    entry-to-dispatch, allocation lifecycle and owner attribution.       *)
 
@@ -356,6 +423,10 @@ let suite =
     Qcheck_seed.to_alcotest prop_hist_exact_counters;
     Qcheck_seed.to_alcotest prop_hist_quantile_bounds;
     Qcheck_seed.to_alcotest prop_hist_quantile_monotone;
+    Qcheck_seed.to_alcotest prop_merge_is_concat_ingest;
+    Qcheck_seed.to_alcotest prop_merge_commutative;
+    Qcheck_seed.to_alcotest prop_merge_associative;
+    Qcheck_seed.to_alcotest prop_merge_identity;
     Alcotest.test_case "empty histogram" `Quick test_hist_empty;
     Alcotest.test_case "ingest: call latency" `Quick test_ingest_call_latency;
     Alcotest.test_case "ingest: irq-to-dispatch" `Quick test_ingest_irq_latency;

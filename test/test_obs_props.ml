@@ -85,12 +85,16 @@ let print_ops ops =
 
 (* Run [ops] on a fresh system; returns the final simulated cycle count
    and the trace (empty when no sink was attached).  [forensics]
-   additionally attaches a flight recorder to the trace stream. *)
-let run_program ?(forensics = false) ~traced ops =
+   additionally attaches a flight recorder, [profiled] a profiler (each
+   independent of the trace ring). *)
+let run_program ?(forensics = false) ?profiled ~traced ops =
   let machine = Machine.create () in
   let obs = if traced then Some (Obs.create ()) else None in
   Machine.set_trace machine obs;
   if forensics then Machine.set_forensics machine (Some (Forensics.create ()));
+  (match profiled with
+  | Some mode -> Machine.set_profiler machine (Some (Profiler.create ~mode ()))
+  | None -> ());
   let sys = Result.get_ok (System.boot ~machine (firmware ())) in
   Kernel.implement1 sys.System.kernel ~comp:"app" ~entry:"main" (fun ctx _ ->
       let q = quota ctx in
@@ -121,13 +125,14 @@ let run_program ?(forensics = false) ~traced ops =
       Capability.null);
   System.run ~until_cycles:4_000_000_000 sys;
   ( Machine.cycles machine,
-    match obs with None -> [] | Some o -> Obs.events o )
+    (match obs with None -> [] | Some o -> Obs.events o),
+    machine )
 
 let prop_stamps_monotone_per_source =
   QCheck.Test.make ~name:"cycle stamps are monotone per source" ~count:15
     (QCheck.make ~print:print_ops gen_ops)
     (fun ops ->
-      let _, evs = run_program ~traced:true ops in
+      let _, evs, _ = run_program ~traced:true ops in
       let by_source = Hashtbl.create 8 in
       List.iter
         (fun e ->
@@ -143,7 +148,7 @@ let prop_attribution_totals_exact =
     ~name:"attribution fold totals exactly equal machine cycles" ~count:15
     (QCheck.make ~print:print_ops gen_ops)
     (fun ops ->
-      let cycles, evs = run_program ~traced:true ops in
+      let cycles, evs, _ = run_program ~traced:true ops in
       let attributed = Obs.attribute ~total_cycles:cycles evs in
       let sum = List.fold_left (fun a (_, n) -> a + n) 0 attributed in
       sum = cycles && List.for_all (fun (_, n) -> n > 0) attributed)
@@ -153,8 +158,8 @@ let prop_tracing_invisible =
     ~name:"simulated cycles bit-identical with tracing on vs off" ~count:15
     (QCheck.make ~print:print_ops gen_ops)
     (fun ops ->
-      let on, _ = run_program ~traced:true ops in
-      let off, _ = run_program ~traced:false ops in
+      let on, _, _ = run_program ~traced:true ops in
+      let off, _, _ = run_program ~traced:false ops in
       on = off)
 
 let prop_forensics_invisible =
@@ -163,9 +168,72 @@ let prop_forensics_invisible =
     ~count:15
     (QCheck.make ~print:print_ops gen_ops)
     (fun ops ->
-      let on, _ = run_program ~traced:true ~forensics:true ops in
-      let off, _ = run_program ~traced:false ops in
+      let on, _, _ = run_program ~traced:true ~forensics:true ops in
+      let off, _, _ = run_program ~traced:false ops in
       on = off)
+
+(* The profiler mirrors the invisibility contract — attached alone
+   (no trace ring), it must not move a single simulated cycle. *)
+let prop_profiler_invisible =
+  QCheck.Test.make
+    ~name:"simulated cycles bit-identical with the profiler attached"
+    ~count:15
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let on, _, _ = run_program ~traced:false ~profiled:Profiler.Exact ops in
+      let off, _, _ = run_program ~traced:false ops in
+      on = off)
+
+(* Exact-attribution reconciliation: the folded stacks partition machine
+   cycles exactly, and the per-leaf sums equal Obs.attribute's totals
+   label for label (the profiler is the attribution fold with stack
+   context). *)
+let prop_profile_reconciles =
+  QCheck.Test.make
+    ~name:"exact profile reconciles with cycles and the attribution fold"
+    ~count:15
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let cycles, evs, machine =
+        run_program ~traced:true ~profiled:Profiler.Exact ops
+      in
+      let prof = Option.get (Machine.profiler machine) in
+      let fold = Profiler.folded prof ~total_cycles:cycles in
+      let weight = List.fold_left (fun a (_, w) -> a + w) 0 fold in
+      let leaf key =
+        match List.rev (String.split_on_char ';' key) with
+        | l :: _ -> l
+        | [] -> key
+      in
+      let by_leaf = Hashtbl.create 8 in
+      List.iter
+        (fun (k, w) ->
+          let l = leaf k in
+          Hashtbl.replace by_leaf l
+            (w + Option.value (Hashtbl.find_opt by_leaf l) ~default:0))
+        fold;
+      let attrib = Obs.attribute ~total_cycles:cycles evs in
+      weight = cycles
+      && List.for_all
+           (fun (label, n) ->
+             Option.value (Hashtbl.find_opt by_leaf label) ~default:0 = n)
+           attrib
+      && Hashtbl.length by_leaf = List.length attrib)
+
+(* Sampled mode: the total weight is exactly cycles/interval — the
+   sample clock is the simulated clock, so sampling is deterministic. *)
+let prop_sampled_weight =
+  QCheck.Test.make
+    ~name:"sampled profile weight is exactly cycles/interval" ~count:10
+    (QCheck.make
+       ~print:(fun (n, ops) -> Printf.sprintf "interval=%d %s" n (print_ops ops))
+       QCheck.Gen.(pair (int_range 2 10_000) gen_ops))
+    (fun (n, ops) ->
+      let cycles, _, machine =
+        run_program ~traced:false ~profiled:(Profiler.Sampled n) ops
+      in
+      let prof = Option.get (Machine.profiler machine) in
+      Profiler.total_weight prof ~total_cycles:cycles = cycles / n)
 
 let suite =
   [
@@ -174,6 +242,9 @@ let suite =
     Qcheck_seed.to_alcotest prop_attribution_totals_exact;
     Qcheck_seed.to_alcotest prop_tracing_invisible;
     Qcheck_seed.to_alcotest prop_forensics_invisible;
+    Qcheck_seed.to_alcotest prop_profiler_invisible;
+    Qcheck_seed.to_alcotest prop_profile_reconciles;
+    Qcheck_seed.to_alcotest prop_sampled_weight;
   ]
 
 let () = Alcotest.run "cheriot_obs_props" [ ("trace-properties", suite) ]

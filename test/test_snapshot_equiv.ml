@@ -85,7 +85,13 @@ let gen_program rng =
 (* Harness: prologue program A, epilogue program B, fork between them *)
 (* ------------------------------------------------------------------ *)
 
-type rig = { machine : Machine.t; obs : Obs.t; interp : Interp.t }
+type rig = {
+  machine : Machine.t;
+  obs : Obs.t;
+  frn : Forensics.t;
+  prof : Profiler.t;
+  interp : Interp.t;
+}
 
 let outcome_to_string = function
   | Interp.Halted -> "halted"
@@ -96,6 +102,13 @@ let make_rig ~engine prog_a prog_b =
   let machine = Machine.create () in
   let obs = Obs.create () in
   Machine.set_trace machine (Some obs);
+  (* The flight recorder and profiler ride the same emission stream and
+     are captured by the same snapshot — attaching them here puts their
+     state under every fork-equivalence property below. *)
+  let frn = Forensics.create () in
+  Machine.set_forensics machine (Some frn);
+  let prof = Profiler.create ~mode:Profiler.Exact () in
+  Machine.set_profiler machine (Some prof);
   let interp = Interp.create ~engine machine in
   Interp.map_segment interp ~base:code_base prog_a;
   Interp.map_segment interp ~base:code_base2 prog_b;
@@ -110,7 +123,7 @@ let make_rig ~engine prog_a prog_b =
       ~perms:Perm.Set.executable
   in
   (Interp.regs interp).(8) <- Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit);
-  { machine; obs; interp }
+  { machine; obs; frn; prof; interp }
 
 let entry_of base prog =
   let pcc =
@@ -125,16 +138,21 @@ type view = {
   s_cycles : int;
   s_regs : string list;
   s_events : string list;
+  s_folded : string;
+  s_fleet : string;
 }
 
 let run_epilogue ~fuel rig prog_b =
   let outcome = Interp.run ~fuel rig.interp (entry_of code_base2 prog_b) in
+  let cycles = Machine.cycles rig.machine in
   {
     s_outcome = outcome_to_string outcome;
     s_instret = Interp.instret rig.interp;
-    s_cycles = Machine.cycles rig.machine;
+    s_cycles = cycles;
     s_regs = Array.to_list (Array.map Cap.to_string (Interp.regs rig.interp));
     s_events = List.map (Fmt.str "%a" Obs.pp_event) (Obs.events rig.obs);
+    s_folded = Profiler.to_folded_text rig.prof ~total_cycles:cycles;
+    s_fleet = Agg.table (Agg.of_forensics rig.frn ~cycles);
   }
 
 let check_view what a b =
@@ -150,7 +168,13 @@ let check_view what a b =
       (same b.s_regs);
   if a.s_events <> b.s_events then
     QCheck.Test.fail_reportf "%s trace events:@.%s@.vs@.%s" what
-      (same a.s_events) (same b.s_events)
+      (same a.s_events) (same b.s_events);
+  if a.s_folded <> b.s_folded then
+    QCheck.Test.fail_reportf "%s folded stacks:@.%s@.vs@.%s" what a.s_folded
+      b.s_folded;
+  if a.s_fleet <> b.s_fleet then
+    QCheck.Test.fail_reportf "%s fleet metrics:@.%s@.vs@.%s" what a.s_fleet
+      b.s_fleet
 
 (* One engine's triple for a given program pair. *)
 let fork_views ~engine ~fuel prog_a prog_b =
@@ -320,6 +344,8 @@ let churn_firmware () =
 
 let boot_churn body =
   let machine = Machine.create () in
+  Machine.set_forensics machine (Some (Forensics.create ()));
+  Machine.set_profiler machine (Some (Profiler.create ~mode:Profiler.Exact ()));
   let sys = Result.get_ok (System.boot ~machine (churn_firmware ())) in
   let k = sys.System.kernel in
   Kernel.implement1 k ~comp:"churn" ~entry:"main" (fun ctx _ ->
@@ -361,6 +387,50 @@ let test_mid_sweep_snapshot () =
   Alcotest.(check int) "completion cycles identical" c1 c2;
   Alcotest.(check int) "quarantine level identical" q1 q2
 
+let test_obs_state_fork () =
+  (* Observability state is machine state: restore mid-run (with the
+     revoker partway through a sweep) and complete the run — the
+     profiler's folded stacks and the flight recorder's histograms and
+     counters must be identical to a run that was never interrupted.
+     The comparison goes through [Agg.of_forensics], so a fleet rollup
+     merged from restored machines equals one merged from pristine
+     machines. *)
+  let churn machine ctx q =
+    ignore machine;
+    for _ = 1 to 40 do
+      match Allocator.allocate ctx ~alloc_cap:q 64 with
+      | Ok c -> ignore (Allocator.free ctx ~alloc_cap:q c)
+      | Error _ -> ()
+    done
+  in
+  let finish machine =
+    Machine.run_revoker_to_completion machine;
+    let cycles = Machine.cycles machine in
+    let prof = Option.get (Machine.profiler machine) in
+    let frn = Option.get (Machine.forensics machine) in
+    ( Profiler.to_folded_text prof ~total_cycles:cycles,
+      Agg.table (Agg.of_forensics frn ~cycles) )
+  in
+  (* Uninterrupted run. *)
+  let machine0, _ = boot_churn churn in
+  Machine.revoker_kick machine0;
+  Machine.tick machine0 64;
+  let folded0, fleet0 = finish machine0 in
+  (* Same run, but forked mid-sweep: snapshot, finish, restore, finish. *)
+  let machine, _ = boot_churn churn in
+  Machine.revoker_kick machine;
+  Machine.tick machine 64;
+  let snap = Machine.snapshot machine in
+  let folded1, fleet1 = finish machine in
+  Machine.restore machine snap;
+  let folded2, fleet2 = finish machine in
+  Alcotest.(check string) "folded stacks: snapshot invisible" folded0 folded1;
+  Alcotest.(check string) "folded stacks: restore exact" folded0 folded2;
+  Alcotest.(check string) "fleet metrics: snapshot invisible" fleet0 fleet1;
+  Alcotest.(check string) "fleet metrics: restore exact" fleet0 fleet2;
+  Alcotest.(check bool) "profile is non-trivial" true
+    (String.length folded0 > 0 && String.contains folded0 ';')
+
 let test_snapshot_rejected_mid_run () =
   (* The quiescence contract: a kernel thread suspended mid-effect (or
      running) cannot be deep-copied, so snapshotting from inside a
@@ -390,6 +460,8 @@ let () =
             test_restore_over_warm_superblock_caches;
           Alcotest.test_case "mid-quarantine-sweep fork" `Quick
             test_mid_sweep_snapshot;
+          Alcotest.test_case "profiler and forensics fork mid-run" `Quick
+            test_obs_state_fork;
           Alcotest.test_case "snapshot refused mid-run" `Quick
             test_snapshot_rejected_mid_run;
         ] );
