@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-seeds report-smoke profile-smoke replay-smoke attack-smoke ci campaign campaign-par bench perf perf-gate clean
+.PHONY: all build test test-seeds report-smoke profile-smoke replay-smoke attack-smoke ci campaign campaign-par bench perf perf-gate alloc-gate clean
 
 all: build
 
@@ -71,7 +71,7 @@ attack-smoke: build
 	@diff _build/attack_fm_j1.out _build/attack_fm_j4.out
 	@echo "attack-smoke: --jobs 4 identical to --jobs 1 (with and without fleet metrics), matrix matches golden"
 
-ci: build test test-seeds report-smoke profile-smoke replay-smoke campaign-par attack-smoke perf-gate perf
+ci: build test test-seeds report-smoke profile-smoke replay-smoke campaign-par attack-smoke perf-gate alloc-gate perf
 
 # Long mode: 200 seeded scenarios (override with FAULT_CAMPAIGN_ITERS=n).
 # Farmed across all cores by default; --jobs 1 forces the sequential path.
@@ -101,6 +101,16 @@ bench:
 # fails loudly).
 perf-gate: build
 	dune exec bench/main.exe -- perf-gate
+
+# Allocation gate for the packed capability register file: the warm
+# (second) run of the tight loop — segments decoded, superblocks
+# compiled, memo caches filled — must allocate at most
+# ALLOC_GATE_MAX_WORDS (default 0.01) minor-heap words per simulated
+# instruction on the superblock engine; the committed baseline is
+# exactly 0.  Legacy/predecode are reported but not gated (their
+# memory arms box the authority capability by design).
+alloc-gate: build
+	dune exec bench/main.exe -- alloc-gate
 
 # Host-performance check: times the tier-1 suite, then runs the
 # interpreter/scenario/campaign microbenchmarks and prints the delta

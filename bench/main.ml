@@ -602,6 +602,17 @@ let bechamel_tests () =
 (* Long-mode fault-injection campaign (the quick 8-scenario version
    runs under `dune runtest`): 200 seeded scenarios by default,
    FAULT_CAMPAIGN_ITERS overrides, any failing seed replays exactly. *)
+(* Asking for more domains than the host has cores is a valid
+   experiment (scheduling-overhead measurement) but a misleading
+   speedup number; say so on stderr, where the wall clock also goes. *)
+let warn_oversubscribed ~what jobs =
+  let cores = Farm.default_jobs () in
+  if jobs > cores then
+    Fmt.epr
+      "%s: --jobs %d exceeds the %d host cores; the wall clock measures \
+       domain scheduling overhead, not parallel speedup@."
+      what jobs cores
+
 let campaign ?(jobs = 1) ?(from_snapshot = false) ?(fleet_metrics = false) () =
   let n = Fault_campaign.iters ~default:200 in
   section
@@ -663,6 +674,7 @@ let campaign_cmd args =
         exit 1
   in
   parse args;
+  warn_oversubscribed ~what:"campaign" !jobs;
   campaign ~jobs:!jobs ~from_snapshot:!from_snapshot
     ~fleet_metrics:!fleet_metrics ()
 
@@ -1170,6 +1182,7 @@ let attack_matrix_cmd args =
         List.iter (fun l -> Fmt.pr "  %s@." l) o.Attack.at_journal
       end
   | None ->
+      warn_oversubscribed ~what:"attack-matrix" !jobs;
       let t0 = Unix.gettimeofday () in
       let outcomes =
         Attack.run_matrix ~jobs:!jobs ~armed:!armed ~base_seed:!seed ~n:!n ()
@@ -1276,7 +1289,13 @@ let engine_of_name = function
   | "superblock" -> Some `Superblock
   | _ -> None
 
-let ns_per_instr ?(engine = `Superblock) () =
+(* One tight-loop rig: machine + interpreter + entry sentry for the
+   7-instruction spin program.  The program (re)initializes its own
+   loop registers, so re-entering the same rig measures the steady
+   state — segments decoded, superblocks compiled, memo caches warm. *)
+type tight_rig = { tr_interp : Interp.t; tr_entry : Cap.t }
+
+let tight_rig ?(engine = `Superblock) () =
   let machine = Machine.create () in
   ignore (Netsim.attach machine);
   Machine.set_timer machine (Some 4_000_000_000);
@@ -1302,12 +1321,21 @@ let ns_per_instr ?(engine = `Superblock) () =
       ~top:(code_base + Isa.code_bytes prog)
       ~perms:Perm.Set.executable
   in
-  (Interp.regs interp).(6) <-
-    Cap.make_root ~base:(Machine.sram_base machine)
-      ~top:(Machine.sram_base machine + Machine.sram_size machine)
-      ~perms:Perm.Set.read_write;
+  Interp.set_reg interp 6
+    (Cap.make_root ~base:(Machine.sram_base machine)
+       ~top:(Machine.sram_base machine + Machine.sram_size machine)
+       ~perms:Perm.Set.read_write);
+  { tr_interp = interp; tr_entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) }
+
+(* One entry-to-halt run of the rig: (ns/instr, minor heap words/instr,
+   promoted words/instr).  GC deltas come from [Gc.quick_stat], which
+   reads counters without perturbing the heap. *)
+let tight_run rig =
+  let interp = rig.tr_interp in
+  let i0 = Interp.instret interp in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
-  (match Interp.run ~fuel:max_int interp (Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit)) with
+  (match Interp.run ~fuel:max_int interp rig.tr_entry with
   | Interp.Halted -> ()
   | o ->
       failwith
@@ -1317,7 +1345,15 @@ let ns_per_instr ?(engine = `Superblock) () =
            | Interp.Exited _ -> "exited"
            | Interp.Halted -> assert false)));
   let dt = Unix.gettimeofday () -. t0 in
-  dt *. 1e9 /. float_of_int (Interp.instret interp)
+  let g1 = Gc.quick_stat () in
+  let instrs = float_of_int (Interp.instret interp - i0) in
+  ( dt *. 1e9 /. instrs,
+    (g1.Gc.minor_words -. g0.Gc.minor_words) /. instrs,
+    (g1.Gc.promoted_words -. g0.Gc.promoted_words) /. instrs )
+
+let ns_per_instr ?engine () =
+  let ns, _, _ = tight_run (tight_rig ?engine ()) in
+  ns
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -1326,7 +1362,13 @@ let timed f =
 
 let perf_measurements () =
   let engine = `Superblock in
-  let ns = ns_per_instr ~engine () in
+  (* Run the rig twice: the first (cold) run is the historical
+     ns/instr number BENCH_core.json tracks; the second (warm) run is
+     where the packed register file's zero-allocation claim holds, so
+     the GC counters come from it. *)
+  let rig = tight_rig ~engine () in
+  let ns, _, _ = tight_run rig in
+  let _, minor_w, promoted_w = tight_run rig in
   let engine = engine_name engine in
   let fig7_fast_s = timed (fun () -> ignore (Iot_scenario.run ~fast:true ())) in
   let campaign8_s =
@@ -1337,6 +1379,7 @@ let perf_measurements () =
   (* The same 8 scenarios farmed over 4 domains; speedup depends on the
      host's physical cores (recorded alongside, so the number can be
      judged in context). *)
+  warn_oversubscribed ~what:"perf (campaign8_jobs4_s)" 4;
   let campaign8_jobs4_s =
     timed (fun () ->
         let failures, _ = Fault_campaign.run ~jobs:4 ~base_seed:1 ~n:8 () in
@@ -1356,6 +1399,8 @@ let perf_measurements () =
     [
       ("engine", Json.Str engine);
       ("ns_per_instr", Json.Str (Printf.sprintf "%.1f" ns));
+      ("gc_minor_words_per_instr", Json.Str (Printf.sprintf "%.4f" minor_w));
+      ("gc_promoted_words_per_instr", Json.Str (Printf.sprintf "%.4f" promoted_w));
       ("fig7_fast_s", Json.Str (Printf.sprintf "%.3f" fig7_fast_s));
       ("campaign8_s", Json.Str (Printf.sprintf "%.3f" campaign8_s));
       ("campaign8_jobs4_s", Json.Str (Printf.sprintf "%.3f" campaign8_jobs4_s));
@@ -1424,18 +1469,30 @@ let perf_cmd args =
   if compare then begin
     section "ns/instr on the tight loop, by engine";
     let engines = [ `Legacy; `Predecode; `Superblock ] in
-    let results = List.map (fun e -> (e, ns_per_instr ~engine:e ())) engines in
-    let _, slowest = List.hd results in
+    (* Cold run for the ns/instr number (comparable to the committed
+       baseline), warm run for the steady-state GC counters. *)
+    let results =
+      List.map
+        (fun e ->
+          let rig = tight_rig ~engine:e () in
+          let ns, _, _ = tight_run rig in
+          let _, minor, promoted = tight_run rig in
+          (e, (ns, minor, promoted)))
+        engines
+    in
+    let _, (slowest, _, _) = List.hd results in
     List.iter
-      (fun (e, ns) ->
-        Fmt.pr "  %-12s %6.1f ns/instr   %5.2fx vs legacy@." (engine_name e) ns
-          (slowest /. ns))
+      (fun (e, (ns, minor, promoted)) ->
+        Fmt.pr
+          "  %-12s %6.1f ns/instr   %5.2fx vs legacy   %8.4f minor w/i   \
+           %8.4f promoted w/i@."
+          (engine_name e) ns (slowest /. ns) minor promoted)
       results;
     match
       ( List.assoc_opt `Predecode results,
         List.assoc_opt `Superblock results )
     with
-    | Some p, Some s when s > 0. ->
+    | Some (p, _, _), Some (s, _, _) when s > 0. ->
         Fmt.pr "  superblock is %.2fx vs predecode@." (p /. s)
     | _ -> ()
   end
@@ -1474,6 +1531,50 @@ let perf_gate_cmd _args =
   if ratio < min_ratio then begin
     Fmt.epr "perf-gate: FAIL — superblock is only %.2fx over predecode (need %.2fx)@."
       ratio min_ratio;
+    exit 1
+  end
+
+(* `bench -- alloc-gate`: CI gate for the packed register file's core
+   claim — the steady-state superblock hot loop does zero minor-heap
+   allocation per instruction.  The first run of the rig pays one-time
+   costs (segment decode, superblock compilation, memo-cache fill); the
+   second run must stay under ALLOC_GATE_MAX_WORDS minor words per
+   instruction (default 0.01 — any real per-instruction allocation
+   costs at least 2 words, so the gate has ~200x margin while leaving
+   headroom for O(1) entry/exit boxing).  The fallback engines are
+   reported for context but not gated: their Lw/Sw arms must still
+   materialize a boxed authority capability for Machine.load/store. *)
+let alloc_gate_cmd _args =
+  let max_words =
+    match Sys.getenv_opt "ALLOC_GATE_MAX_WORDS" with
+    | None -> 0.01
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v when v > 0. -> v
+        | _ ->
+            Fmt.epr "alloc-gate: bad ALLOC_GATE_MAX_WORDS %S@." s;
+            exit 1)
+  in
+  let steady engine =
+    let rig = tight_rig ~engine () in
+    ignore (tight_run rig);
+    let _, minor, promoted = tight_run rig in
+    (minor, promoted)
+  in
+  List.iter
+    (fun engine ->
+      let minor, promoted = steady engine in
+      Fmt.pr "alloc-gate: %-10s %10.6f minor words/instr, %10.6f promoted (ungated)@."
+        (engine_name engine) minor promoted)
+    [ `Legacy; `Predecode ];
+  let minor, promoted = steady `Superblock in
+  Fmt.pr "alloc-gate: %-10s %10.6f minor words/instr, %10.6f promoted (max %.3f)@."
+    (engine_name `Superblock) minor promoted max_words;
+  if minor > max_words then begin
+    Fmt.epr
+      "alloc-gate: FAIL — superblock steady state allocates %.6f minor \
+       words/instr (max %.3f)@."
+      minor max_words;
     exit 1
   end
 
@@ -1577,6 +1678,10 @@ let subcommands : (string * string * (string list -> unit)) list =
       "perf-gate: fail unless superblock beats predecode by \
        PERF_GATE_MIN_RATIO (default 1.5x) on the tight loop",
       perf_gate_cmd );
+    ( "alloc-gate",
+      "alloc-gate: fail unless the warm superblock loop allocates under \
+       ALLOC_GATE_MAX_WORDS (default 0.01) minor words per instruction",
+      alloc_gate_cmd );
   ]
 
 let usage () =

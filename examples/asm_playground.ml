@@ -58,11 +58,10 @@ let run_case ~overrun =
          (Cap.exn (Cap.set_bounds (Cap.with_address_exn root addr) ~length:len))
          perms)
   in
-  let regs = Interp.regs t in
-  regs.(ca0) <- view sram 32 Perm.Set.read_only;
-  regs.(ca1) <- view (sram + 64) 16 Perm.Set.read_write;
-  Fmt.pr "  src: %a@." Cap.pp regs.(ca0);
-  Fmt.pr "  dst: %a@." Cap.pp regs.(ca1);
+  Interp.set_reg t ca0 (view sram 32 Perm.Set.read_only);
+  Interp.set_reg t ca1 (view (sram + 64) 16 Perm.Set.read_write);
+  Fmt.pr "  src: %a@." Cap.pp (Interp.get_reg t ca0);
+  Fmt.pr "  dst: %a@." Cap.pp (Interp.get_reg t ca1);
   let c0 = Machine.cycles machine in
   (match Interp.run t pcc with
   | Interp.Halted ->

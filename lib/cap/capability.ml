@@ -98,6 +98,51 @@ let pp ppf c =
 
 let to_string c = Fmt.str "%a" pp c
 
+(* Packed (flat) encoding, used by the interpreter's allocation-free
+   register file (Packed_cap).  The non-address fields fold into one
+   small "meta" word: bit 0 = tag, bits 1-12 = the permission bitmask,
+   bits 13-16 = the otype code.  The otype code deliberately matches the
+   architectural [CGetType] encoding: 0 = unsealed, 1-5 = the five
+   sentry kinds, 9-15 = sealed data otypes (the only values [seal] can
+   produce, so 4 bits suffice and codes 6-8 stay unused). *)
+
+let sentry_code = function
+  | Otype.Call_inherit -> 1
+  | Otype.Call_disable -> 2
+  | Otype.Call_enable -> 3
+  | Otype.Return_disable -> 4
+  | Otype.Return_enable -> 5
+
+let otype_code = function
+  | Otype.Unsealed -> 0
+  | Otype.Sentry s -> sentry_code s
+  | Otype.Data d -> d
+
+let otype_of_code = function
+  | 0 -> Otype.Unsealed
+  | 1 -> Otype.Sentry Otype.Call_inherit
+  | 2 -> Otype.Sentry Otype.Call_disable
+  | 3 -> Otype.Sentry Otype.Call_enable
+  | 4 -> Otype.Sentry Otype.Return_disable
+  | 5 -> Otype.Sentry Otype.Return_enable
+  | d when d >= Otype.data_first && d <= Otype.data_last -> Otype.Data d
+  | c -> invalid_arg (Printf.sprintf "Capability.of_meta: otype code %d" c)
+
+let meta c =
+  (if c.tag then 1 else 0)
+  lor (Perm.Set.to_bits c.perms lsl 1)
+  lor (otype_code c.otype lsl 13)
+
+let of_meta ~meta:m ~base ~top ~cursor =
+  {
+    tag = m land 1 = 1;
+    base;
+    top;
+    cursor;
+    perms = Perm.Set.of_bits ((m lsr 1) land 0xfff);
+    otype = otype_of_code (m lsr 13);
+  }
+
 let guard_exact c =
   if not c.tag then Error Tag_violation
   else if is_sealed c then Error Seal_violation

@@ -126,6 +126,28 @@ val unseal_sentry : t -> (t, violation) result
 (** Unseal a sentry (the jump instruction's privilege); fails on data
     seals. *)
 
+(* Packed (flat) encoding — see {!Packed_cap} for the register file
+   built on it. *)
+
+val meta : t -> int
+(** Fold the non-address fields into one small int: bit 0 = tag,
+    bits 1-12 = the permission bitmask, bits 13-16 = the otype code
+    (the architectural [CGetType] encoding: 0 unsealed, 1-5 sentries,
+    9-15 sealed data).  [of_meta (meta c)] with [c]'s address fields is
+    exactly [c] — the bijection the packed register file relies on,
+    pinned by QCheck in [test_cap_props]. *)
+
+val of_meta : meta:int -> base:int -> top:int -> cursor:int -> t
+(** Inverse of {!meta} plus the three address words.  Total on every
+    meta produced by {!meta}; [Invalid_argument] on the unused otype
+    codes (6-8) no constructible capability carries. *)
+
+val otype_code : Otype.t -> int
+(** The architectural otype encoding ([CGetType]'s result). *)
+
+val sentry_code : Otype.sentry -> int
+(** [otype_code (Sentry s)]. *)
+
 (* Access checks (used by the memory and the ISA) *)
 
 val check_access :

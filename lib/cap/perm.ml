@@ -30,6 +30,8 @@ let bit = function
   | Unseal -> 10
   | User0 -> 11
 
+let of_bit b = List.find_opt (fun p -> bit p = b) all_perms
+
 let to_string = function
   | Global -> "GL"
   | Load -> "LD"

@@ -21,6 +21,12 @@ type t =
 val all_perms : t list
 (** Every permission, in display order. *)
 
+val bit : t -> int
+(** Bit index of a permission in the ISA immediate encoding. *)
+
+val of_bit : int -> t option
+(** Inverse of {!bit}; [None] for unused bit positions. *)
+
 val pp : t Fmt.t
 val to_string : t -> string
 

@@ -493,8 +493,7 @@ let reg_names =
      "ca3"; "ca4"; "ca5"; "cs0"; "cs1"; "ct3" |]
 
 let render_regs t =
-  let regs = Interp.regs t.interp in
-  List.init 16 (fun i -> (reg_names.(i), Cap.to_string regs.(i)))
+  List.init 16 (fun i -> (reg_names.(i), Cap.to_string (Interp.get_reg t.interp i)))
 
 let capture_dump t ~tid ~comp ~cause ~addr ~pc ~instr ~handler_ran =
   if Machine.tracing t.machine then
@@ -536,13 +535,12 @@ let rec do_call t ~tid ~caller ~csp ~cgp ~sealed args =
   let th = t.threads.(tid) in
   th.hazards <- [];
   Interp.set_special interp Isa.mtdc th.tlayout.Loader.lt_tstack;
-  let regs = Interp.regs interp in
-  Array.fill regs 0 16 Cap.null;
-  regs.(Isa.ct2) <- sealed;
-  regs.(Isa.ra) <- pad_sentry t;
-  regs.(Isa.csp) <- csp;
-  regs.(Isa.cgp) <- cgp;
-  List.iteri (fun i a -> if i < 6 then regs.(Isa.ca0 + i) <- a) args;
+  Interp.clear_regs interp;
+  Interp.set_reg interp Isa.ct2 sealed;
+  Interp.set_reg interp Isa.ra (pad_sentry t);
+  Interp.set_reg interp Isa.csp csp;
+  Interp.set_reg interp Isa.cgp cgp;
+  List.iteri (fun i a -> if i < 6 then Interp.set_reg interp (Isa.ca0 + i) a) args;
   if Machine.tracing t.machine then
     Machine.emit t.machine (Obs.Switcher_call { tid });
   match Interp.run interp Switcher.call_sentry with
@@ -574,10 +572,9 @@ and dispatch t ~tid ~caller target =
       Error Invalid_import
   | Some (comp, entry_idx) ->
       let th = t.threads.(tid) in
-      let regs = Interp.regs t.interp in
-      let callee_csp = regs.(Isa.csp) in
-      let callee_cgp = regs.(Isa.cgp) in
-      let ra_callee = regs.(Isa.ra) in
+      let callee_csp = Interp.get_reg t.interp Isa.csp in
+      let callee_cgp = Interp.get_reg t.interp Isa.cgp in
+      let ra_callee = Interp.get_reg t.interp Isa.ra in
       let entry = comp.layout.Loader.lc_entries.(entry_idx) in
       let callee = comp.layout.Loader.lc_name in
       let callee_ctx =
@@ -626,7 +623,10 @@ and dispatch t ~tid ~caller target =
                   (Printf.sprintf "entry %s.%s has no implementation"
                      comp.layout.Loader.lc_name entry.Firmware.entry_name)
         in
-        let args = Array.init entry.Firmware.arity (fun i -> regs.(Isa.ca0 + i)) in
+        let args =
+          Array.init entry.Firmware.arity (fun i ->
+              Interp.get_reg t.interp (Isa.ca0 + i))
+        in
         match impl callee_ctx args with
         | r0, r1 -> finish_call t ~tid ~callee ~callee_csp ~ra_callee (r0, r1)
         | exception Memory.Fault f ->
@@ -642,18 +642,17 @@ and finish_call t ~tid ~callee ~callee_csp ~ra_callee (r0, r1) =
   let interp = t.interp in
   let th = t.threads.(tid) in
   Interp.set_special interp Isa.mtdc th.tlayout.Loader.lt_tstack;
-  let regs = Interp.regs interp in
-  Array.fill regs 0 16 Cap.null;
-  regs.(Isa.ca0) <- r0;
-  regs.(Isa.ca1) <- r1;
-  regs.(Isa.csp) <- callee_csp;
+  Interp.clear_regs interp;
+  Interp.set_reg interp Isa.ca0 r0;
+  Interp.set_reg interp Isa.ca1 r1;
+  Interp.set_reg interp Isa.csp callee_csp;
   if Machine.tracing t.machine then
     Machine.emit t.machine (Obs.Switcher_return { tid });
   match Interp.run interp ra_callee with
   | Interp.Exited pad when Cap.address pad = Abi.return_pad ->
       if Machine.tracing t.machine then
         Machine.emit t.machine (Obs.Call_leave { callee; tid; faulted = false });
-      Ok (regs.(Isa.ca0), regs.(Isa.ca1))
+      Ok (Interp.get_reg interp Isa.ca0, Interp.get_reg interp Isa.ca1)
   | Interp.Exited _ -> failwith "switcher return escaped to unknown address"
   | Interp.Trapped tr ->
       failwith (Fmt.str "switcher return path trapped: %a" Interp.pp_trap tr)

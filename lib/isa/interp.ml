@@ -1,5 +1,6 @@
 module Cap = Capability
 module Sb = Superblock
+module Pk = Packed_cap
 
 (* Decode-once front-end: each segment lazily materializes an array of
    pre-decoded slots — the instruction plus its resolved absolute branch
@@ -63,15 +64,15 @@ let create ?(engine = `Superblock) machine =
       sb = Sb.make_ctx machine;
     }
   in
-  (* Register file, special registers, retired-instruction counter and
-     the segment map are the interpreter's whole mutable surface; the
-     per-segment [dec]/[blk] arrays are pure caches of immutable
-     programs (all engines restore identically: compiled blocks
-     re-validate their memoized filter checks because [Memory]'s
+  (* Register file (one flat int array), special registers, retired-
+     instruction counter and the segment map are the interpreter's whole
+     mutable surface; the per-segment [dec]/[blk] arrays are pure caches
+     of immutable programs (all engines restore identically: compiled
+     blocks re-validate their memoized filter checks because [Memory]'s
      restore bumps the filter epoch). *)
   Machine.on_snapshot machine (fun () ->
       let sb = t.sb in
-      let regs = Array.copy sb.Sb.sregs in
+      let pk = Array.copy sb.Sb.spk in
       let specials = Array.copy sb.Sb.sspec in
       let instret = sb.Sb.sinstret in
       let segments = t.segments in
@@ -79,7 +80,7 @@ let create ?(engine = `Superblock) machine =
       let br_pc = t.br_pc in
       let br_target = t.br_target in
       fun () ->
-        Array.blit regs 0 sb.Sb.sregs 0 (Array.length regs);
+        Array.blit pk 0 sb.Sb.spk 0 (Array.length pk);
         Array.blit specials 0 sb.Sb.sspec 0 (Array.length specials);
         sb.Sb.sinstret <- instret;
         t.segments <- segments;
@@ -108,7 +109,13 @@ let segment_base t name =
   | Some s -> s.seg_base
   | None -> invalid_arg ("segment_base: " ^ name)
 
-let regs t = t.sb.Sb.sregs
+(* Register access: the registers live packed ([Packed_cap]) in one flat
+   int array; boxed values are materialized only at this boundary. *)
+let get_reg t r = Pk.unpack t.sb.Sb.spk r
+let set_reg t r v = Pk.pack t.sb.Sb.spk r v
+let read_regs t = Array.init 16 (fun r -> Pk.unpack t.sb.Sb.spk r)
+let clear_regs t = Array.fill t.sb.Sb.spk 0 (Array.length t.sb.Sb.spk) 0
+
 let get_special t i = t.sb.Sb.sspec.(i)
 let set_special t i c = t.sb.Sb.sspec.(i) <- c
 let instret t = t.sb.Sb.sinstret
@@ -127,11 +134,16 @@ let find_segment t addr =
       (match r with Some _ -> t.last_seg <- r | None -> ());
       r
 
-let get t r = if r = 0 then Cap.null else t.sb.Sb.sregs.(r)
-let set t r v = if r <> 0 then t.sb.Sb.sregs.(r) <- v
+let get t r = Pk.unpack t.sb.Sb.spk r
+let set t r v = Pk.pack t.sb.Sb.spk r v
 
 let trap pc cause = raise (Trap_exn { tcause = cause; tpc = pc })
 let cap_result pc = function Ok c -> c | Error v -> trap pc (Cap_fault v)
+
+(* Packed-derivation result check: a non-zero code decodes to the exact
+   boxed violation (allocating only on this trap path). *)
+let[@inline] pkres pc code =
+  if code <> 0 then trap pc (Cap_fault (Pk.violation code))
 
 let apply_jump_target = Sb.apply_jump_target
 
@@ -196,29 +208,30 @@ let step t pcc =
   if sb.Sb.sinstret land 1023 = 0 && Machine.tracing t.machine then
     Machine.emit t.machine (Obs.Instr_sample { instret = sb.Sb.sinstret });
   let m = t.machine in
+  let pk = sb.Sb.spk in
   (* check_access above rejects sealed pcc, so cursor moves are safe. *)
   let next = Cap.with_address_unsealed pcc (pc + 4) in
   let goto label = Cap.with_address_unsealed pcc (resolve_label t seg pc label) in
-  let iv r = to_int (get t r) in
+  let iv r = Pk.cursor pk r in
   match ins with
   | Isa.Halt -> `Halt
   | Isa.Li (rd, v) ->
-      set t rd (int_value v);
+      Pk.set_int pk rd v;
       `Next next
   | Isa.Mv (rd, rs) ->
-      set t rd (get t rs);
+      Pk.copy pk ~dst:rd ~src:rs;
       `Next next
   | Isa.Addi (rd, rs, v) ->
-      set t rd (int_value (iv rs + v));
+      Pk.set_int pk rd (iv rs + v);
       `Next next
   | Isa.Add (rd, a, b) ->
-      set t rd (int_value (iv a + iv b));
+      Pk.set_int pk rd (iv a + iv b);
       `Next next
   | Isa.Sub (rd, a, b) ->
-      set t rd (int_value (iv a - iv b));
+      Pk.set_int pk rd (iv a - iv b);
       `Next next
   | Isa.Andi (rd, rs, v) ->
-      set t rd (int_value (iv rs land v));
+      Pk.set_int pk rd (iv rs land v);
       `Next next
   | Isa.Beq (a, b, l) -> `Next (if iv a = iv b then goto l else next)
   | Isa.Bne (a, b, l) -> `Next (if iv a <> iv b then goto l else next)
@@ -228,7 +241,7 @@ let step t pcc =
   | Isa.Lw (rd, imm, rs) ->
       let auth = get t rs in
       let v = Machine.load m ~auth ~addr:(Cap.address auth + imm) ~size:4 in
-      set t rd (int_value v);
+      Pk.set_int pk rd v;
       `Next next
   | Isa.Sw (rs2, imm, rs1) ->
       let auth = get t rs1 in
@@ -243,60 +256,50 @@ let step t pcc =
       Machine.store_cap m ~auth ~addr:(Cap.address auth + imm) (get t rs2);
       `Next next
   | Isa.Cincaddr (rd, a, b) ->
-      set t rd (cap_result pc (Cap.incr_address (get t a) (iv b)));
+      pkres pc (Pk.incr_addr pk ~dst:rd ~src:a (iv b));
       `Next next
   | Isa.Cincaddrimm (rd, a, v) ->
-      set t rd (cap_result pc (Cap.incr_address (get t a) v));
+      pkres pc (Pk.incr_addr pk ~dst:rd ~src:a v);
       `Next next
   | Isa.Csetaddr (rd, a, b) ->
-      set t rd (cap_result pc (Cap.with_address (get t a) (iv b)));
+      pkres pc (Pk.set_addr pk ~dst:rd ~src:a (iv b));
       `Next next
   | Isa.Csetbounds (rd, a, b) ->
-      set t rd (cap_result pc (Cap.set_bounds (get t a) ~length:(iv b)));
+      pkres pc (Pk.set_bounds pk ~dst:rd ~src:a (iv b));
       `Next next
   | Isa.Csetboundsimm (rd, a, v) ->
-      set t rd (cap_result pc (Cap.set_bounds (get t a) ~length:v));
+      pkres pc (Pk.set_bounds pk ~dst:rd ~src:a v);
       `Next next
   | Isa.Candperm (rd, a, mask) ->
-      set t rd (cap_result pc (Cap.and_perms (get t a) (Perm.Set.of_bits mask)));
+      pkres pc (Pk.and_perms pk ~dst:rd ~src:a (Perm.Set.of_bits mask));
       `Next next
   | Isa.Cgetaddr (rd, a) ->
-      set t rd (int_value (Cap.address (get t a)));
+      Pk.set_int pk rd (Pk.cursor pk a);
       `Next next
   | Isa.Cgetbase (rd, a) ->
-      set t rd (int_value (Cap.base (get t a)));
+      Pk.set_int pk rd (Pk.base pk a);
       `Next next
   | Isa.Cgetlen (rd, a) ->
-      set t rd (int_value (Cap.length (get t a)));
+      Pk.set_int pk rd (Pk.length pk a);
       `Next next
   | Isa.Cgettag (rd, a) ->
-      set t rd (int_value (if Cap.tag (get t a) then 1 else 0));
+      Pk.set_int pk rd (Pk.tag_bit pk a);
       `Next next
   | Isa.Cgettype (rd, a) ->
-      let module O = Cap.Otype in
-      let v =
-        match Cap.otype (get t a) with
-        | O.Unsealed -> 0
-        | O.Sentry O.Call_inherit -> 1
-        | O.Sentry O.Call_disable -> 2
-        | O.Sentry O.Call_enable -> 3
-        | O.Sentry O.Return_disable -> 4
-        | O.Sentry O.Return_enable -> 5
-        | O.Data d -> d
-      in
-      set t rd (int_value v);
+      (* The packed otype code IS the architectural CGetType encoding. *)
+      Pk.set_int pk rd (Pk.otype_code pk a);
       `Next next
   | Isa.Cgetperm (rd, a) ->
-      set t rd (int_value (Perm.Set.to_bits (Cap.perms (get t a))));
+      Pk.set_int pk rd (Pk.perm_bits pk a);
       `Next next
   | Isa.Cseal (rd, a, k) ->
-      set t rd (cap_result pc (Cap.seal ~key:(get t k) (get t a)));
+      pkres pc (Pk.seal pk ~dst:rd ~src:a ~key:k);
       `Next next
   | Isa.Cunseal (rd, a, k) ->
-      set t rd (cap_result pc (Cap.unseal ~key:(get t k) (get t a)));
+      pkres pc (Pk.unseal pk ~dst:rd ~src:a ~key:k);
       `Next next
   | Isa.Csealentry (rd, a, kind) ->
-      set t rd (cap_result pc (Cap.seal_entry (get t a) kind));
+      pkres pc (Pk.seal_entry pk ~dst:rd ~src:a (Cap.sentry_code kind));
       `Next next
   | Isa.Auipcc (rd, l) ->
       let addr = seg.seg_base + (4 * Isa.label_index seg.prog l) in
@@ -327,7 +330,7 @@ let step t pcc =
       set t rd old;
       `Next next
   | Isa.Ccleartag (rd, a) ->
-      set t rd (Cap.clear_tag (get t a));
+      Pk.clear_tag pk ~dst:rd ~src:a;
       `Next next
   | Isa.Trapif cause -> trap pc (Software cause)
 
@@ -338,8 +341,11 @@ let step t pcc =
    compares: is the pc still inside the current segment, and inside the
    pcc's bounds?  On either miss the engine falls back to the exact
    legacy checks so fault causes, ordering and PCs stay bit-identical.
-   The pc is threaded as a plain int; a capability is only materialized
-   where the legacy path observed one (links, Auipcc, jumps).
+   The pc is threaded as a plain int; arm bodies read and write the
+   packed register file directly (zero allocation on the ALU, branch,
+   getter and derivation arms); a boxed capability is only materialized
+   where the legacy path observed one at a boundary (memory authority,
+   links, Auipcc, jumps, specials).
 
    [run_epoch] executes exactly one epoch and reports how it ended: an
    [outcome], or a control transfer to a new pcc ([`Epoch]) which the
@@ -349,6 +355,7 @@ let step t pcc =
 let run_epoch t pcc0 seg0 pc00 budget0 =
   let m = t.machine in
   let sb = t.sb in
+  let pk = sb.Sb.spk in
   let rec epoch pcc seg pc budget =
     let dec = materialize seg in
     let sbase = seg.seg_base and send = seg_end seg in
@@ -379,53 +386,49 @@ let run_epoch t pcc0 seg0 pc00 budget0 =
       match slot.d_ins with
       | Isa.Halt -> `Out Halted
       | Isa.Li (rd, v) ->
-          set t rd (int_value v);
+          Pk.set_int pk rd v;
           go (pc + 4) (budget - 1)
       | Isa.Mv (rd, rs) ->
-          set t rd (get t rs);
+          Pk.copy pk ~dst:rd ~src:rs;
           go (pc + 4) (budget - 1)
       | Isa.Addi (rd, rs, v) ->
-          set t rd (int_value (to_int (get t rs) + v));
+          Pk.set_int pk rd (Pk.cursor pk rs + v);
           go (pc + 4) (budget - 1)
       | Isa.Add (rd, a, b) ->
-          set t rd (int_value (to_int (get t a) + to_int (get t b)));
+          Pk.set_int pk rd (Pk.cursor pk a + Pk.cursor pk b);
           go (pc + 4) (budget - 1)
       | Isa.Sub (rd, a, b) ->
-          set t rd (int_value (to_int (get t a) - to_int (get t b)));
+          Pk.set_int pk rd (Pk.cursor pk a - Pk.cursor pk b);
           go (pc + 4) (budget - 1)
       | Isa.Andi (rd, rs, v) ->
-          set t rd (int_value (to_int (get t rs) land v));
+          Pk.set_int pk rd (Pk.cursor pk rs land v);
           go (pc + 4) (budget - 1)
       | Isa.Beq (a, b, _) ->
           go
-            (if to_int (get t a) = to_int (get t b) then slot.d_target
-             else pc + 4)
+            (if Pk.cursor pk a = Pk.cursor pk b then slot.d_target else pc + 4)
             (budget - 1)
       | Isa.Bne (a, b, _) ->
           go
-            (if to_int (get t a) <> to_int (get t b) then slot.d_target
-             else pc + 4)
+            (if Pk.cursor pk a <> Pk.cursor pk b then slot.d_target else pc + 4)
             (budget - 1)
       | Isa.Bltu (a, b, _) ->
           go
-            (if to_int (get t a) < to_int (get t b) then slot.d_target
-             else pc + 4)
+            (if Pk.cursor pk a < Pk.cursor pk b then slot.d_target else pc + 4)
             (budget - 1)
       | Isa.Bgeu (a, b, _) ->
           go
-            (if to_int (get t a) >= to_int (get t b) then slot.d_target
-             else pc + 4)
+            (if Pk.cursor pk a >= Pk.cursor pk b then slot.d_target else pc + 4)
             (budget - 1)
       | Isa.J _ -> go slot.d_target (budget - 1)
       | Isa.Lw (rd, imm, rs) ->
           let auth = get t rs in
           let v = Machine.load m ~auth ~addr:(Cap.address auth + imm) ~size:4 in
-          set t rd (int_value v);
+          Pk.set_int pk rd v;
           go (pc + 4) (budget - 1)
       | Isa.Sw (rs2, imm, rs1) ->
           let auth = get t rs1 in
           Machine.store m ~auth ~addr:(Cap.address auth + imm) ~size:4
-            (to_int (get t rs2));
+            (Pk.cursor pk rs2);
           go (pc + 4) (budget - 1)
       | Isa.Clc (rd, imm, rs) ->
           let auth = get t rs in
@@ -436,64 +439,49 @@ let run_epoch t pcc0 seg0 pc00 budget0 =
           Machine.store_cap m ~auth ~addr:(Cap.address auth + imm) (get t rs2);
           go (pc + 4) (budget - 1)
       | Isa.Cincaddr (rd, a, b) ->
-          set t rd
-            (cap_result pc (Cap.incr_address (get t a) (to_int (get t b))));
+          pkres pc (Pk.incr_addr pk ~dst:rd ~src:a (Pk.cursor pk b));
           go (pc + 4) (budget - 1)
       | Isa.Cincaddrimm (rd, a, v) ->
-          set t rd (cap_result pc (Cap.incr_address (get t a) v));
+          pkres pc (Pk.incr_addr pk ~dst:rd ~src:a v);
           go (pc + 4) (budget - 1)
       | Isa.Csetaddr (rd, a, b) ->
-          set t rd
-            (cap_result pc (Cap.with_address (get t a) (to_int (get t b))));
+          pkres pc (Pk.set_addr pk ~dst:rd ~src:a (Pk.cursor pk b));
           go (pc + 4) (budget - 1)
       | Isa.Csetbounds (rd, a, b) ->
-          set t rd
-            (cap_result pc (Cap.set_bounds (get t a) ~length:(to_int (get t b))));
+          pkres pc (Pk.set_bounds pk ~dst:rd ~src:a (Pk.cursor pk b));
           go (pc + 4) (budget - 1)
       | Isa.Csetboundsimm (rd, a, v) ->
-          set t rd (cap_result pc (Cap.set_bounds (get t a) ~length:v));
+          pkres pc (Pk.set_bounds pk ~dst:rd ~src:a v);
           go (pc + 4) (budget - 1)
       | Isa.Candperm (rd, a, mask) ->
-          set t rd
-            (cap_result pc (Cap.and_perms (get t a) (Perm.Set.of_bits mask)));
+          pkres pc (Pk.and_perms pk ~dst:rd ~src:a (Perm.Set.of_bits mask));
           go (pc + 4) (budget - 1)
       | Isa.Cgetaddr (rd, a) ->
-          set t rd (int_value (Cap.address (get t a)));
+          Pk.set_int pk rd (Pk.cursor pk a);
           go (pc + 4) (budget - 1)
       | Isa.Cgetbase (rd, a) ->
-          set t rd (int_value (Cap.base (get t a)));
+          Pk.set_int pk rd (Pk.base pk a);
           go (pc + 4) (budget - 1)
       | Isa.Cgetlen (rd, a) ->
-          set t rd (int_value (Cap.length (get t a)));
+          Pk.set_int pk rd (Pk.length pk a);
           go (pc + 4) (budget - 1)
       | Isa.Cgettag (rd, a) ->
-          set t rd (int_value (if Cap.tag (get t a) then 1 else 0));
+          Pk.set_int pk rd (Pk.tag_bit pk a);
           go (pc + 4) (budget - 1)
       | Isa.Cgettype (rd, a) ->
-          let module O = Cap.Otype in
-          let v =
-            match Cap.otype (get t a) with
-            | O.Unsealed -> 0
-            | O.Sentry O.Call_inherit -> 1
-            | O.Sentry O.Call_disable -> 2
-            | O.Sentry O.Call_enable -> 3
-            | O.Sentry O.Return_disable -> 4
-            | O.Sentry O.Return_enable -> 5
-            | O.Data d -> d
-          in
-          set t rd (int_value v);
+          Pk.set_int pk rd (Pk.otype_code pk a);
           go (pc + 4) (budget - 1)
       | Isa.Cgetperm (rd, a) ->
-          set t rd (int_value (Perm.Set.to_bits (Cap.perms (get t a))));
+          Pk.set_int pk rd (Pk.perm_bits pk a);
           go (pc + 4) (budget - 1)
       | Isa.Cseal (rd, a, k) ->
-          set t rd (cap_result pc (Cap.seal ~key:(get t k) (get t a)));
+          pkres pc (Pk.seal pk ~dst:rd ~src:a ~key:k);
           go (pc + 4) (budget - 1)
       | Isa.Cunseal (rd, a, k) ->
-          set t rd (cap_result pc (Cap.unseal ~key:(get t k) (get t a)));
+          pkres pc (Pk.unseal pk ~dst:rd ~src:a ~key:k);
           go (pc + 4) (budget - 1)
       | Isa.Csealentry (rd, a, kind) ->
-          set t rd (cap_result pc (Cap.seal_entry (get t a) kind));
+          pkres pc (Pk.seal_entry pk ~dst:rd ~src:a (Cap.sentry_code kind));
           go (pc + 4) (budget - 1)
       | Isa.Auipcc (rd, _) ->
           set t rd (cap_result pc (Cap.with_address pcc slot.d_target));
@@ -530,7 +518,7 @@ let run_epoch t pcc0 seg0 pc00 budget0 =
           set t rd old;
           go (pc + 4) (budget - 1)
       | Isa.Ccleartag (rd, a) ->
-          set t rd (Cap.clear_tag (get t a));
+          Pk.clear_tag pk ~dst:rd ~src:a;
           go (pc + 4) (budget - 1)
       | Isa.Trapif cause -> trap pc (Software cause)
     in

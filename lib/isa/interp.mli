@@ -46,9 +46,20 @@ val map_segment : t -> base:int -> Isa.program -> unit
 val segment_base : t -> string -> int
 (** Base address of a mapped program, by name. *)
 
-val regs : t -> Capability.t array
-(** The 16 merged registers.  Register 0 reads as NULL; writes to it are
-    discarded. *)
+(* The 16 merged registers live packed ({!Packed_cap}) in one flat int
+   array so the hot loop never allocates; boxed [Capability.t] values
+   are materialized only at this accessor boundary.  Register 0 reads
+   as NULL; writes to it are discarded. *)
+
+val get_reg : t -> int -> Capability.t
+val set_reg : t -> int -> Capability.t -> unit
+
+val read_regs : t -> Capability.t array
+(** A fresh 16-element snapshot of the register file (not an alias:
+    mutating the returned array does not touch the registers). *)
+
+val clear_regs : t -> unit
+(** Reset every register to NULL. *)
 
 val get_special : t -> int -> Capability.t
 val set_special : t -> int -> Capability.t -> unit

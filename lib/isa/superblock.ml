@@ -1,4 +1,5 @@
 module Cap = Capability
+module Pk = Packed_cap
 
 (* Superblock compiler: the third interpreter back-end.
 
@@ -12,6 +13,15 @@ module Cap = Capability
    either runs the fused closure or side-exits to the exact per-
    instruction engine.
 
+   Register file: the packed capability file ([Packed_cap]) — each
+   register is four untagged ints (meta, base, top, cursor) in one flat
+   [int array], so the steady-state arm bodies (ALU, branches, cached
+   loads/stores, in-place derivations) perform zero minor-heap
+   allocation and no GC write barriers.  Boxed [Cap.t] values appear
+   only at boundaries: the threaded pcc, [Machine] memory authority on
+   cache misses, Cjalr targets/links, special registers — all converted
+   through the exact [pack]/[unpack] bijection.
+
    Equivalence contract (every rule here exists to keep registers,
    cycles, instret, trap cause + PC and the Obs event stream bit-
    identical to the legacy engine):
@@ -20,7 +30,10 @@ module Cap = Capability
      the closure chain as ARGUMENTS, never stored in [ctx].  A tick can
      suspend the whole run via the kernel's preemption effect and
      re-enter the interpreter for another thread; argument threading
-     keeps each run's state in its own captured continuation.
+     keeps each run's state in its own captured continuation.  The
+     packed file itself is shared across interleaved runs exactly as
+     the physical register file would be — the switcher saves and
+     restores it around every context switch.
 
    - Deferred tick batching ([acc] >= 0) is only entered when the whole
      block's worst-case cost fits strictly below the machine's event
@@ -42,11 +55,19 @@ module Cap = Capability
      against the live clock).
 
    - The memoized load-filter caches (one per Lw/Sw slot) are valid iff
-     the authorising capability is physically unchanged ([==] on the
-     immutable record) and [Memory.filter_epoch] is unchanged; the epoch
-     bumps on every revocation-bit edit, load-filter toggle and snapshot
-     restore, so a hit implies the full capability + alignment + filter
-     check chain would succeed with the same outcome as at fill time. *)
+     the authorising capability is VALUE-unchanged (the four packed
+     slots compare equal to the fill-time snapshot — the packed file
+     has no stable physical identity to compare, and value equality is
+     the stronger fact anyway: every check in the chain is a pure
+     function of the capability's value) and [Memory.filter_epoch] is
+     unchanged; the epoch bumps on every revocation-bit edit,
+     load-filter toggle and snapshot restore, so a hit implies the full
+     capability + alignment + filter check chain would succeed with the
+     same outcome as at fill time.  The fill-time snapshot initialises
+     with top = min_int, which no constructible capability carries
+     (bounds are non-negative), so an empty cache matches nothing — in
+     particular not a NULL register, whose authority must still fail
+     the full check. *)
 
 type dslot = { d_ins : Isa.instr; d_target : int (* -1 = no label operand *) }
 
@@ -56,21 +77,21 @@ type trap = { tcause : trap_cause; tpc : int }
 
 exception Trap_exn of trap
 
-(* Shared execution state: the register file and counters every engine
-   reads and writes in place.  [sjump] carries a Cjalr target from the
-   terminator closure to the dispatcher, and [sret_acc] the pending
-   deferred-cycle batch that a pure-control terminator hands back
-   instead of flushing (each written and read back-to-back with no tick
-   in between, so a preempting run cannot clobber them).  Carrying the
-   batch across blocks lets a tight loop make many trips on a single
-   flush; the dispatcher re-validates [Machine.defer_window] against
-   the carried batch plus the next block's worst case before every
-   entry, so the eventual flush still lands strictly below the event
-   horizon. *)
+(* Shared execution state: the packed register file and counters every
+   engine reads and writes in place.  [sjump] carries a Cjalr target
+   from the terminator closure to the dispatcher, and [sret_acc] the
+   pending deferred-cycle batch that a pure-control terminator hands
+   back instead of flushing (each written and read back-to-back with no
+   tick in between, so a preempting run cannot clobber them).  Carrying
+   the batch across blocks lets a tight loop make many trips on a
+   single flush; the dispatcher re-validates [Machine.defer_window]
+   against the carried batch plus the next block's worst case before
+   every entry, so the eventual flush still lands strictly below the
+   event horizon. *)
 type ctx = {
   sm : Machine.t;
   smem : Memory.t;
-  sregs : Cap.t array;
+  spk : int array;
   sspec : Cap.t array;
   mutable sinstret : int;
   mutable sjump : Cap.t;
@@ -82,7 +103,7 @@ let make_ctx machine =
   {
     sm = machine;
     smem = Machine.mem machine;
-    sregs = Array.make 16 Cap.null;
+    spk = Pk.make 16;
     sspec = Array.make 3 Cap.null;
     sinstret = 0;
     sjump = Cap.null;
@@ -130,15 +151,6 @@ let apply_jump_target machine pc target =
   let back_kind = if prev then O.Return_enable else O.Return_disable in
   (unsealed, back_kind)
 
-let int_value v = Cap.with_address_unsealed Cap.null v
-
-(* Initial value of the memoized-authority caches.  It must be a private
-   allocation: the cache-hit test is physical equality against register
-   contents, and registers commonly hold [Cap.null] itself — a shared
-   immutable record that would otherwise match an empty cache and skip
-   the capability check a NULL authority must fail. *)
-let uncached : Cap.t = Cap.with_address_unsealed Cap.null 0
-
 (* acc discipline helpers.  [flushx] settles pending deferred cycles;
    the batch is below the horizon by the block precondition, so the tick
    takes the fast path and nothing fires inside it. *)
@@ -173,8 +185,28 @@ let[@inline] retire ctx acc =
     -1
   end
 
-let[@inline] uget regs r = if r = 0 then Cap.null else Array.unsafe_get regs r
-let[@inline] uset regs r v = if r <> 0 then Array.unsafe_set regs r v
+(* Hot-path packed accessors: register indices are proved < 16 at
+   compile time ([okr]), so unsafe indexing is sound.  Register 0 reads
+   all-zero slots (NULL) and the write guard discards stores to it. *)
+let[@inline] ucur pk r = Array.unsafe_get pk ((r lsl 2) + 3)
+
+let[@inline] uint pk rd v =
+  if rd <> 0 then begin
+    let o = rd lsl 2 in
+    Array.unsafe_set pk o 0;
+    Array.unsafe_set pk (o + 1) 0;
+    Array.unsafe_set pk (o + 2) 0;
+    Array.unsafe_set pk (o + 3) v
+  end
+
+let[@inline] ucopy pk rd rs =
+  if rd <> 0 then begin
+    let os = rs lsl 2 and od = rd lsl 2 in
+    Array.unsafe_set pk od (Array.unsafe_get pk os);
+    Array.unsafe_set pk (od + 1) (Array.unsafe_get pk (os + 1));
+    Array.unsafe_set pk (od + 2) (Array.unsafe_get pk (os + 2));
+    Array.unsafe_set pk (od + 3) (Array.unsafe_get pk (os + 3))
+  end
 
 (* Flush-then-raise: a trap must leave the clock where the legacy engine
    would, so pending deferred cycles are settled before the raise. *)
@@ -185,6 +217,11 @@ let trapfx m acc pc cause =
 let capfx m acc pc = function
   | Ok c -> c
   | Error v -> trapfx m acc pc (Cap_fault v)
+
+(* Packed-derivation result check: non-zero codes decode to the exact
+   boxed violation and trap with pending cycles flushed. *)
+let[@inline] pkfx m acc pc code =
+  if code <> 0 then trapfx m acc pc (Cap_fault (Pk.violation code))
 
 let is_terminator = function
   | Isa.Beq _ | Isa.Bne _ | Isa.Bltu _ | Isa.Bgeu _ | Isa.J _ | Isa.Cjal _
@@ -207,7 +244,7 @@ exception Unsupported
 let okr r = r >= 0 && r < 16
 
 let compile ctx dec ~base ~idx =
-  let m = ctx.sm and mem = ctx.smem and regs = ctx.sregs in
+  let m = ctx.sm and mem = ctx.smem and pk = ctx.spk in
   let n = Array.length dec in
   let stop =
     let rec f j = if j >= n then n else if is_terminator dec.(j).d_ins then j else f (j + 1) in
@@ -247,187 +284,208 @@ let compile ctx dec ~base ~idx =
       | Isa.Li (rd, v) ->
           if not (okr rd) then raise Unsupported;
           let k = build (j + 1) in
-          let c = int_value v in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd c;
+            uint pk rd v;
             k pcc acc
       | Isa.Mv (rd, rs) ->
           if not (okr rd && okr rs) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (uget regs rs);
+            ucopy pk rd rs;
             k pcc acc
       | Isa.Addi (rd, rs, v) ->
           if not (okr rd && okr rs) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (Cap.address (uget regs rs) + v));
+            uint pk rd (ucur pk rs + v);
             k pcc acc
       | Isa.Add (rd, a, b) ->
           if not (okr rd && okr a && okr b) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (int_value (Cap.address (uget regs a) + Cap.address (uget regs b)));
+            uint pk rd (ucur pk a + ucur pk b);
             k pcc acc
       | Isa.Sub (rd, a, b) ->
           if not (okr rd && okr a && okr b) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (int_value (Cap.address (uget regs a) - Cap.address (uget regs b)));
+            uint pk rd (ucur pk a - ucur pk b);
             k pcc acc
       | Isa.Andi (rd, rs, v) ->
           if not (okr rd && okr rs) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (Cap.address (uget regs rs) land v));
+            uint pk rd (ucur pk rs land v);
             k pcc acc
       | Isa.Lw (rd, imm, rs) ->
           if not (okr rd && okr rs) then raise Unsupported;
-          let c_auth = ref uncached and c_ep = ref (-1) and c_off = ref 0 in
+          let os = rs lsl 2 in
+          (* Fill-time value snapshot of the authorising register plus
+             the filter epoch and raw word offset; c_t = min_int marks
+             the cache empty (no constructible top is negative). *)
+          let c_m = ref 0 and c_b = ref 0 and c_t = ref min_int
+          and c_c = ref 0 in
+          let c_ep = ref (-1) and c_off = ref 0 in
           let k = build (j + 1) in
           fun pcc acc ->
-            let auth = uget regs rs in
-            if acc >= 0 && auth == !c_auth && Memory.filter_epoch mem = !c_ep
-            then begin
-              (* Deferred cache hit: same physical capability => the
-                 same address, and same filter epoch => the full check
-                 chain has the same (passing) outcome as at fill time;
-                 go straight to the raw word at the cached offset, with
+            let am = Array.unsafe_get pk os
+            and ab = Array.unsafe_get pk (os + 1)
+            and at = Array.unsafe_get pk (os + 2)
+            and ac = Array.unsafe_get pk (os + 3) in
+            let hit = at = !c_t && ac = !c_c && am = !c_m && ab = !c_b in
+            if acc >= 0 && hit && Memory.filter_epoch mem = !c_ep then begin
+              (* Deferred cache hit: same capability value => the same
+                 address, and same filter epoch => the full check chain
+                 has the same (passing) outcome as at fill time; go
+                 straight to the raw word at the cached offset, with
                  retire and charge fused into one batched add. *)
               ctx.sinstret <- ctx.sinstret + 1;
-              uset regs rd (int_value (Memory.load32_off mem !c_off));
+              uint pk rd (Memory.load32_off mem !c_off);
               k pcc (acc + (Cost.instr + Cost.mem_word))
             end
             else begin
-            let acc = retire ctx acc in
-            if auth == !c_auth then begin
-              (* Cached authority: [Machine.load]'s pre-tick capability
-                 check passed at fill time for this same physical
-                 capability, so it passes now.  Charge the memory cost
-                 first — a real tick here can run a listener or deliver
-                 an interrupt that edits revocation bits — then re-run
-                 the post-tick filter check exactly where the checked
-                 path runs it. *)
-              let acc = charge m acc Cost.mem_word in
-              if Memory.filter_epoch mem = !c_ep then begin
-                uset regs rd (int_value (Memory.load32_off mem !c_off));
-                k pcc acc
+              let acc = retire ctx acc in
+              if hit then begin
+                (* Cached authority: [Machine.load]'s pre-tick capability
+                   check passed at fill time for this same capability
+                   value, so it passes now.  Charge the memory cost
+                   first — a real tick here can run a listener or deliver
+                   an interrupt that edits revocation bits — then re-run
+                   the post-tick filter check exactly where the checked
+                   path runs it. *)
+                let acc = charge m acc Cost.mem_word in
+                if Memory.filter_epoch mem = !c_ep then begin
+                  uint pk rd (Memory.load32_off mem !c_off);
+                  k pcc acc
+                end
+                else begin
+                  let auth = Pk.unpack pk rs in
+                  let addr = ac + imm in
+                  (try
+                     Memory.check_aligned_filtered mem ~auth ~addr ~size:4
+                       Memory.Read
+                   with e ->
+                     flushx m acc;
+                     raise e);
+                  c_ep := Memory.filter_epoch mem;
+                  uint pk rd (Memory.load32_off mem !c_off);
+                  k pcc acc
+                end
               end
               else begin
-                let addr = Cap.address auth + imm in
-                (try
-                   Memory.check_aligned_filtered mem ~auth ~addr ~size:4
-                     Memory.Read
-                 with e ->
-                   flushx m acc;
-                   raise e);
-                c_ep := Memory.filter_epoch mem;
-                uset regs rd (int_value (Memory.load32_off mem !c_off));
-                k pcc acc
+                let auth = Pk.unpack pk rs in
+                let addr = ac + imm in
+                if Machine.in_sram m addr then begin
+                  let v =
+                    try Machine.load m ~auth ~addr ~size:4
+                    with e ->
+                      flushx m acc;
+                      raise e
+                  in
+                  c_m := am;
+                  c_b := ab;
+                  c_t := at;
+                  c_c := ac;
+                  c_ep := Memory.filter_epoch mem;
+                  c_off := Memory.word_offset mem addr;
+                  uint pk rd v;
+                  k pcc acc
+                end
+                else begin
+                  (* MMIO (or unmapped): the device observes the clock and
+                     may raise IRQs — flush first, stop deferring after. *)
+                  flushx m acc;
+                  let v = Machine.load m ~auth ~addr ~size:4 in
+                  uint pk rd v;
+                  k pcc (-1)
+                end
               end
-            end
-            else begin
-              let addr = Cap.address auth + imm in
-              if Machine.in_sram m addr then begin
-                let v =
-                  try Machine.load m ~auth ~addr ~size:4
-                  with e ->
-                    flushx m acc;
-                    raise e
-                in
-                c_auth := auth;
-                c_ep := Memory.filter_epoch mem;
-                c_off := Memory.word_offset mem addr;
-                uset regs rd (int_value v);
-                k pcc acc
-              end
-              else begin
-                (* MMIO (or unmapped): the device observes the clock and
-                   may raise IRQs — flush first, stop deferring after. *)
-                flushx m acc;
-                let v = Machine.load m ~auth ~addr ~size:4 in
-                uset regs rd (int_value v);
-                k pcc (-1)
-              end
-            end
             end
       | Isa.Sw (rs2, imm, rs1) ->
           if not (okr rs2 && okr rs1) then raise Unsupported;
-          let c_auth = ref uncached and c_ep = ref (-1) and c_off = ref 0 in
+          let os = rs1 lsl 2 in
+          let c_m = ref 0 and c_b = ref 0 and c_t = ref min_int
+          and c_c = ref 0 in
+          let c_ep = ref (-1) and c_off = ref 0 in
           let k = build (j + 1) in
           fun pcc acc ->
-            let auth = uget regs rs1 in
-            if acc >= 0 && auth == !c_auth && Memory.filter_epoch mem = !c_ep
-            then begin
+            let am = Array.unsafe_get pk os
+            and ab = Array.unsafe_get pk (os + 1)
+            and at = Array.unsafe_get pk (os + 2)
+            and ac = Array.unsafe_get pk (os + 3) in
+            let hit = at = !c_t && ac = !c_c && am = !c_m && ab = !c_b in
+            if acc >= 0 && hit && Memory.filter_epoch mem = !c_ep then begin
               ctx.sinstret <- ctx.sinstret + 1;
-              Memory.store32_off mem !c_off (Cap.address (uget regs rs2));
+              Memory.store32_off mem !c_off (ucur pk rs2);
               k pcc (acc + (Cost.instr + Cost.mem_word))
             end
             else begin
-            let acc = retire ctx acc in
-            if auth == !c_auth then begin
-              (* Same post-tick re-validation as the Lw path: charge,
-                 then re-check the filter epoch the tick may have
-                 moved. *)
-              let acc = charge m acc Cost.mem_word in
-              if Memory.filter_epoch mem = !c_ep then begin
-                Memory.store32_off mem !c_off (Cap.address (uget regs rs2));
-                k pcc acc
+              let acc = retire ctx acc in
+              if hit then begin
+                (* Same post-tick re-validation as the Lw path: charge,
+                   then re-check the filter epoch the tick may have
+                   moved. *)
+                let acc = charge m acc Cost.mem_word in
+                if Memory.filter_epoch mem = !c_ep then begin
+                  Memory.store32_off mem !c_off (ucur pk rs2);
+                  k pcc acc
+                end
+                else begin
+                  let auth = Pk.unpack pk rs1 in
+                  let addr = ac + imm in
+                  (try
+                     Memory.check_aligned_filtered mem ~auth ~addr ~size:4
+                       Memory.Write
+                   with e ->
+                     flushx m acc;
+                     raise e);
+                  c_ep := Memory.filter_epoch mem;
+                  Memory.store32_off mem !c_off (ucur pk rs2);
+                  k pcc acc
+                end
               end
               else begin
-                let addr = Cap.address auth + imm in
-                (try
-                   Memory.check_aligned_filtered mem ~auth ~addr ~size:4
-                     Memory.Write
-                 with e ->
-                   flushx m acc;
-                   raise e);
-                c_ep := Memory.filter_epoch mem;
-                Memory.store32_off mem !c_off (Cap.address (uget regs rs2));
-                k pcc acc
+                let auth = Pk.unpack pk rs1 in
+                let addr = ac + imm in
+                if Machine.in_sram m addr then begin
+                  (try Machine.store m ~auth ~addr ~size:4 (ucur pk rs2)
+                   with e ->
+                     flushx m acc;
+                     raise e);
+                  c_m := am;
+                  c_b := ab;
+                  c_t := at;
+                  c_c := ac;
+                  c_ep := Memory.filter_epoch mem;
+                  c_off := Memory.word_offset mem addr;
+                  k pcc acc
+                end
+                else begin
+                  flushx m acc;
+                  Machine.store m ~auth ~addr ~size:4 (ucur pk rs2);
+                  k pcc (-1)
+                end
               end
-            end
-            else begin
-              let addr = Cap.address auth + imm in
-              if Machine.in_sram m addr then begin
-                (try
-                   Machine.store m ~auth ~addr ~size:4 (Cap.address (uget regs rs2))
-                 with e ->
-                   flushx m acc;
-                   raise e);
-                c_auth := auth;
-                c_ep := Memory.filter_epoch mem;
-                c_off := Memory.word_offset mem addr;
-                k pcc acc
-              end
-              else begin
-                flushx m acc;
-                Machine.store m ~auth ~addr ~size:4 (Cap.address (uget regs rs2));
-                k pcc (-1)
-              end
-            end
             end
       | Isa.Clc (rd, imm, rs) ->
           if not (okr rd && okr rs) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            let auth = uget regs rs in
+            let auth = Pk.unpack pk rs in
             let v =
               try Machine.load_cap m ~auth ~addr:(Cap.address auth + imm)
               with e ->
                 flushx m acc;
                 raise e
             in
-            uset regs rd v;
+            Pk.pack pk rd v;
             k pcc acc
       | Isa.Csc (rs2, imm, rs1) ->
           if not (okr rs2 && okr rs1) then raise Unsupported;
@@ -437,51 +495,44 @@ let compile ctx dec ~base ~idx =
             (* The tag-set hook settles the revoker against the live
                clock: flush first, stop deferring after. *)
             flushx m acc;
-            let auth = uget regs rs1 in
+            let auth = Pk.unpack pk rs1 in
             Machine.store_cap m ~auth ~addr:(Cap.address auth + imm)
-              (uget regs rs2);
+              (Pk.unpack pk rs2);
             k pcc (-1)
       | Isa.Cincaddr (rd, a, b) ->
           if not (okr rd && okr a && okr b) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (capfx m acc pc
-                 (Cap.incr_address (uget regs a) (Cap.address (uget regs b))));
+            pkfx m acc pc (Pk.incr_addr pk ~dst:rd ~src:a (ucur pk b));
             k pcc acc
       | Isa.Cincaddrimm (rd, a, v) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (capfx m acc pc (Cap.incr_address (uget regs a) v));
+            pkfx m acc pc (Pk.incr_addr pk ~dst:rd ~src:a v);
             k pcc acc
       | Isa.Csetaddr (rd, a, b) ->
           if not (okr rd && okr a && okr b) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (capfx m acc pc
-                 (Cap.with_address (uget regs a) (Cap.address (uget regs b))));
+            pkfx m acc pc (Pk.set_addr pk ~dst:rd ~src:a (ucur pk b));
             k pcc acc
       | Isa.Csetbounds (rd, a, b) ->
           if not (okr rd && okr a && okr b) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (capfx m acc pc
-                 (Cap.set_bounds (uget regs a)
-                    ~length:(Cap.address (uget regs b))));
+            pkfx m acc pc (Pk.set_bounds pk ~dst:rd ~src:a (ucur pk b));
             k pcc acc
       | Isa.Csetboundsimm (rd, a, v) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (capfx m acc pc (Cap.set_bounds (uget regs a) ~length:v));
+            pkfx m acc pc (Pk.set_bounds pk ~dst:rd ~src:a v);
             k pcc acc
       | Isa.Candperm (rd, a, mask) ->
           if not (okr rd && okr a) then raise Unsupported;
@@ -489,83 +540,73 @@ let compile ctx dec ~base ~idx =
           let pset = Perm.Set.of_bits mask in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (capfx m acc pc (Cap.and_perms (uget regs a) pset));
+            pkfx m acc pc (Pk.and_perms pk ~dst:rd ~src:a pset);
             k pcc acc
       | Isa.Cgetaddr (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (Cap.address (uget regs a)));
+            uint pk rd (ucur pk a);
             k pcc acc
       | Isa.Cgetbase (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (Cap.base (uget regs a)));
+            uint pk rd (Pk.base pk a);
             k pcc acc
       | Isa.Cgetlen (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (Cap.length (uget regs a)));
+            uint pk rd (Pk.length pk a);
             k pcc acc
       | Isa.Cgettag (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (if Cap.tag (uget regs a) then 1 else 0));
+            uint pk rd (Pk.tag_bit pk a);
             k pcc acc
       | Isa.Cgettype (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            let module O = Cap.Otype in
-            let v =
-              match Cap.otype (uget regs a) with
-              | O.Unsealed -> 0
-              | O.Sentry O.Call_inherit -> 1
-              | O.Sentry O.Call_disable -> 2
-              | O.Sentry O.Call_enable -> 3
-              | O.Sentry O.Return_disable -> 4
-              | O.Sentry O.Return_enable -> 5
-              | O.Data d -> d
-            in
-            uset regs rd (int_value v);
+            (* The packed otype code IS the architectural CGetType
+               encoding. *)
+            uint pk rd (Pk.otype_code pk a);
             k pcc acc
       | Isa.Cgetperm (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (int_value (Perm.Set.to_bits (Cap.perms (uget regs a))));
+            uint pk rd (Pk.perm_bits pk a);
             k pcc acc
       | Isa.Cseal (rd, a, key) ->
           if not (okr rd && okr a && okr key) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (capfx m acc pc (Cap.seal ~key:(uget regs key) (uget regs a)));
+            pkfx m acc pc (Pk.seal pk ~dst:rd ~src:a ~key);
             k pcc acc
       | Isa.Cunseal (rd, a, key) ->
           if not (okr rd && okr a && okr key) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd
-              (capfx m acc pc (Cap.unseal ~key:(uget regs key) (uget regs a)));
+            pkfx m acc pc (Pk.unseal pk ~dst:rd ~src:a ~key);
             k pcc acc
       | Isa.Csealentry (rd, a, kind) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
+          let code = Cap.sentry_code kind in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (capfx m acc pc (Cap.seal_entry (uget regs a) kind));
+            pkfx m acc pc (Pk.seal_entry pk ~dst:rd ~src:a code);
             k pcc acc
       | Isa.Auipcc (rd, _) ->
           if not (okr rd) then raise Unsupported;
@@ -573,7 +614,7 @@ let compile ctx dec ~base ~idx =
           let tgt = slot.d_target in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (capfx m acc pc (Cap.with_address pcc tgt));
+            Pk.pack pk rd (capfx m acc pc (Cap.with_address pcc tgt));
             k pcc acc
       | Isa.Cspecialrw (rd, sidx, rs) ->
           if not (okr rd && okr rs && sidx >= 0 && sidx < 3) then
@@ -586,15 +627,15 @@ let compile ctx dec ~base ~idx =
               trapfx m acc pc
                 (Cap_fault (Cap.Permit_violation Perm.System_registers));
             let old = Array.unsafe_get spec sidx in
-            if rs <> 0 then Array.unsafe_set spec sidx (uget regs rs);
-            uset regs rd old;
+            if rs <> 0 then Array.unsafe_set spec sidx (Pk.unpack pk rs);
+            Pk.pack pk rd old;
             k pcc acc
       | Isa.Ccleartag (rd, a) ->
           if not (okr rd && okr a) then raise Unsupported;
           let k = build (j + 1) in
           fun pcc acc ->
             let acc = retire ctx acc in
-            uset regs rd (Cap.clear_tag (uget regs a));
+            Pk.clear_tag pk ~dst:rd ~src:a;
             k pcc acc
       (* --- terminators: flush and return the exit --- *)
       | Isa.Beq (a, b, _) ->
@@ -604,7 +645,7 @@ let compile ctx dec ~base ~idx =
             self := true;
             fun pcc acc ->
               let acc = retire ctx acc in
-              if Cap.address (uget regs a) = Cap.address (uget regs b) then
+              if ucur pk a = ucur pk b then
                 if
                   acc >= 0 && ctx.sspins > 0
                   && Machine.defer_window m (acc + mc)
@@ -625,8 +666,7 @@ let compile ctx dec ~base ~idx =
             fun _pcc acc ->
               let acc = retire ctx acc in
               ctx.sret_acc <- acc;
-              if Cap.address (uget regs a) = Cap.address (uget regs b) then tpc
-              else fpc
+              if ucur pk a = ucur pk b then tpc else fpc
       | Isa.Bne (a, b, _) ->
           if not (okr a && okr b) then raise Unsupported;
           let tpc = slot.d_target and fpc = pc + 4 in
@@ -634,7 +674,7 @@ let compile ctx dec ~base ~idx =
             self := true;
             fun pcc acc ->
               let acc = retire ctx acc in
-              if Cap.address (uget regs a) <> Cap.address (uget regs b) then
+              if ucur pk a <> ucur pk b then
                 if
                   acc >= 0 && ctx.sspins > 0
                   && Machine.defer_window m (acc + mc)
@@ -655,8 +695,7 @@ let compile ctx dec ~base ~idx =
             fun _pcc acc ->
               let acc = retire ctx acc in
               ctx.sret_acc <- acc;
-              if Cap.address (uget regs a) <> Cap.address (uget regs b) then tpc
-              else fpc
+              if ucur pk a <> ucur pk b then tpc else fpc
       | Isa.Bltu (a, b, _) ->
           if not (okr a && okr b) then raise Unsupported;
           let tpc = slot.d_target and fpc = pc + 4 in
@@ -664,7 +703,7 @@ let compile ctx dec ~base ~idx =
             self := true;
             fun pcc acc ->
               let acc = retire ctx acc in
-              if Cap.address (uget regs a) < Cap.address (uget regs b) then
+              if ucur pk a < ucur pk b then
                 if
                   acc >= 0 && ctx.sspins > 0
                   && Machine.defer_window m (acc + mc)
@@ -685,8 +724,7 @@ let compile ctx dec ~base ~idx =
             fun _pcc acc ->
               let acc = retire ctx acc in
               ctx.sret_acc <- acc;
-              if Cap.address (uget regs a) < Cap.address (uget regs b) then tpc
-              else fpc
+              if ucur pk a < ucur pk b then tpc else fpc
       | Isa.Bgeu (a, b, _) ->
           if not (okr a && okr b) then raise Unsupported;
           let tpc = slot.d_target and fpc = pc + 4 in
@@ -694,7 +732,7 @@ let compile ctx dec ~base ~idx =
             self := true;
             fun pcc acc ->
               let acc = retire ctx acc in
-              if Cap.address (uget regs a) >= Cap.address (uget regs b) then
+              if ucur pk a >= ucur pk b then
                 if
                   acc >= 0 && ctx.sspins > 0
                   && Machine.defer_window m (acc + mc)
@@ -715,8 +753,7 @@ let compile ctx dec ~base ~idx =
             fun _pcc acc ->
               let acc = retire ctx acc in
               ctx.sret_acc <- acc;
-              if Cap.address (uget regs a) >= Cap.address (uget regs b) then tpc
-              else fpc
+              if ucur pk a >= ucur pk b then tpc else fpc
       | Isa.J _ ->
           let tgt = slot.d_target in
           if tgt = entry then begin
@@ -751,7 +788,7 @@ let compile ctx dec ~base ~idx =
                 if Machine.irq_enabled m then Cap.Otype.Return_enable
                 else Cap.Otype.Return_disable
               in
-              uset regs rd
+              Pk.pack pk rd
                 (Cap.exn (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) kind))
             end;
             tgt
@@ -761,10 +798,10 @@ let compile ctx dec ~base ~idx =
             let acc = retire ctx acc in
             flushx m acc;
             ctx.sret_acc <- -1;
-            let target = uget regs rs in
+            let target = Pk.unpack pk rs in
             let unsealed, back_kind = apply_jump_target m pc target in
             if rd <> 0 then
-              uset regs rd
+              Pk.pack pk rd
                 (Cap.exn
                    (Cap.seal_entry (Cap.with_address_exn pcc (pc + 4)) back_kind));
             ctx.sjump <- unsealed;

@@ -28,7 +28,9 @@ exception Trap_exn of trap
 type ctx = {
   sm : Machine.t;
   smem : Memory.t;
-  sregs : Capability.t array;  (** the 16 merged registers *)
+  spk : int array;
+      (** the 16 merged registers, packed: 4 ints per register
+          ({!Packed_cap}) so steady-state arm bodies allocate nothing *)
   sspec : Capability.t array;  (** the 3 special registers *)
   mutable sinstret : int;
   mutable sjump : Capability.t;

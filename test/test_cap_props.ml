@@ -140,6 +140,189 @@ let prop_seal_roundtrip_preserves =
               && Perm.Set.equal (Cap.perms u) (Cap.perms c)
               && not (Cap.is_sealed u)))
 
+(* ---- packed representation ({!Packed_cap}) ------------------------ *)
+
+(* The interpreter's hot loop works on the flat packed encoding; these
+   properties pin the two contracts DESIGN.md states: pack/unpack is an
+   exact bijection, and every in-place derivation helper agrees with
+   the boxed [Capability] operation it mirrors — same success results,
+   same violations, including when dst aliases src. *)
+
+module Pk = Packed_cap
+
+let sentries =
+  [
+    Cap.Otype.Call_inherit;
+    Cap.Otype.Call_disable;
+    Cap.Otype.Call_enable;
+    Cap.Otype.Return_disable;
+    Cap.Otype.Return_enable;
+  ]
+
+(* Build a capability from five generator seeds, covering the
+   representation's corners: tagged and untagged, unsealed / sentry /
+   data-sealed, zero-length, empty and full permission sets, cursor
+   out of bounds (legal for unsealed capabilities). *)
+let build_cap (base_s, len_s, perm_s, cur_s, shape) =
+  let base = 0x2000_0000 + (base_s land 0xfff) * 4 in
+  let len = if shape mod 5 = 0 then 0 else len_s land 0xfff in
+  let perms =
+    match perm_s mod 7 with
+    | 0 -> Perm.Set.universe
+    | 1 -> Perm.Set.of_bits 0
+    | _ -> Perm.Set.of_bits (perm_s land 0xfff)
+  in
+  let root = Cap.make_root ~base ~top:(base + len) ~perms in
+  let c = Cap.with_address_unsealed root (base + (cur_s mod (len + 17)) - 8) in
+  match shape mod 4 with
+  | 0 -> c
+  | 1 -> Cap.clear_tag c
+  | 2 -> (
+      (* sentry: needs Execute and an in-bounds cursor; keep [c] when
+         sealing refuses so refusal corners stay in the distribution *)
+      match Cap.seal_entry c (List.nth sentries (len_s mod 5)) with
+      | Ok s -> s
+      | Error _ -> c)
+  | _ -> (
+      let ot =
+        Cap.Otype.data_first
+        + (cur_s mod (Cap.Otype.data_last - Cap.Otype.data_first + 1))
+      in
+      let key =
+        Cap.with_address_unsealed
+          (Cap.make_sealing_root ~first:Cap.Otype.data_first
+             ~last:Cap.Otype.data_last)
+          ot
+      in
+      match Cap.seal ~key c with Ok s -> s | Error _ -> c)
+
+let arb_cap =
+  QCheck.make
+    ~print:(fun seeds -> Cap.to_string (build_cap seeds))
+    QCheck.Gen.(
+      map
+        (fun (a, b, (c, d, e)) -> (a, b, c, d, e))
+        (triple nat nat (triple nat nat nat)))
+
+let prop_pack_unpack_bijection =
+  QCheck.Test.make ~name:"packed: unpack (pack c) = c; register 0 is inert"
+    ~count:1000 arb_cap (fun seeds ->
+      let c = build_cap seeds in
+      let pk = Pk.make 2 in
+      Pk.pack pk 1 c;
+      Cap.equal (Pk.unpack pk 1) c
+      (* register 0 discards writes and always reads NULL *)
+      && (Pk.pack pk 0 c;
+          Cap.equal (Pk.unpack pk 0) Cap.null)
+      (* the meta word round-trips through the architectural encoding *)
+      && Cap.equal
+           (Cap.of_meta ~meta:(Cap.meta c) ~base:(Cap.base c)
+              ~top:(Cap.top c) ~cursor:(Cap.address c))
+           c)
+
+(* One in-place helper application, driven by generator seeds. *)
+type pkop =
+  | PIncr of int
+  | PSetAddr of int  (** base-relative target *)
+  | PSetBounds of int
+  | PAndPerms of int
+  | PClearTag
+  | PSeal of int  (** key-cursor offset around the data-otype range *)
+  | PUnseal of int
+  | PSealEntry of int
+
+let pp_pkop = function
+  | PIncr d -> Printf.sprintf "incr %d" d
+  | PSetAddr d -> Printf.sprintf "setaddr %+d" d
+  | PSetBounds l -> Printf.sprintf "setbounds %d" l
+  | PAndPerms m -> Printf.sprintf "andperms 0x%x" m
+  | PClearTag -> "cleartag"
+  | PSeal k -> Printf.sprintf "seal key+%d" k
+  | PUnseal k -> Printf.sprintf "unseal key+%d" k
+  | PSealEntry k -> Printf.sprintf "sealentry %d" k
+
+let build_pkop (k, arg) =
+  match k mod 8 with
+  | 0 -> PIncr ((arg land 0x7ff) - 0x400)
+  | 1 -> PSetAddr ((arg land 0x1fff) - 0x100)
+  | 2 -> PSetBounds ((arg land 0x1fff) - 8)
+  | 3 -> PAndPerms (arg land 0xffff)
+  | 4 -> PClearTag
+  | 5 -> PSeal (arg mod 11)
+  | 6 -> PUnseal (arg mod 11)
+  | _ -> PSealEntry (arg mod 5)
+
+(* A key whose cursor lands in (and just outside) the data-otype range,
+   so both the success path and the otype/bounds refusals are hit. *)
+let seal_key off =
+  Cap.with_address_unsealed
+    (Cap.make_sealing_root ~first:Cap.Otype.data_first
+       ~last:Cap.Otype.data_last)
+    (Cap.Otype.data_first + off - 1)
+
+let arb_pk_case =
+  QCheck.make
+    ~print:(fun (seeds, opseed, alias) ->
+      Printf.sprintf "%s; %s; dst%s=src" (Cap.to_string (build_cap seeds))
+        (pp_pkop (build_pkop opseed))
+        (if alias then "" else "<>"))
+    QCheck.Gen.(
+      triple
+        (map
+           (fun (a, b, (c, d, e)) -> (a, b, c, d, e))
+           (triple nat nat (triple nat nat nat)))
+        (pair nat nat) bool)
+
+let prop_packed_derivation_equiv =
+  QCheck.Test.make
+    ~name:"packed: every in-place helper agrees with the boxed operation"
+    ~count:2000 arb_pk_case (fun (seeds, opseed, alias) ->
+      let c = build_cap seeds in
+      let op = build_pkop opseed in
+      let pk = Pk.make 4 in
+      Pk.pack pk 1 c;
+      let src = 1 in
+      let dst = if alias then 1 else 2 in
+      (* (packed result code, what the boxed algebra says) *)
+      let code, boxed =
+        match op with
+        | PIncr d -> (Pk.incr_addr pk ~dst ~src d, Cap.incr_address c d)
+        | PSetAddr d -> (Pk.set_addr pk ~dst ~src (Cap.base c + d),
+                         Cap.with_address c (Cap.base c + d))
+        | PSetBounds l -> (Pk.set_bounds pk ~dst ~src l,
+                           Cap.set_bounds c ~length:l)
+        | PAndPerms m ->
+            let s = Perm.Set.of_bits m in
+            (Pk.and_perms pk ~dst ~src s, Cap.and_perms c s)
+        | PClearTag ->
+            Pk.clear_tag pk ~dst ~src;
+            (Pk.ok, Ok (Cap.clear_tag c))
+        | PSeal off ->
+            let key = seal_key off in
+            Pk.pack pk 3 key;
+            (Pk.seal pk ~dst ~src ~key:3, Cap.seal ~key c)
+        | PUnseal off ->
+            let key = seal_key off in
+            Pk.pack pk 3 key;
+            (Pk.unseal pk ~dst ~src ~key:3, Cap.unseal ~key c)
+        | PSealEntry k ->
+            let kind = List.nth sentries k in
+            ( Pk.seal_entry pk ~dst ~src (Cap.sentry_code kind),
+              Cap.seal_entry c kind )
+      in
+      match boxed with
+      | Ok r ->
+          code = Pk.ok
+          && Cap.equal (Pk.unpack pk dst) r
+          (* a non-aliased source is left untouched *)
+          && (alias || Cap.equal (Pk.unpack pk src) c)
+      | Error v ->
+          code <> Pk.ok
+          && Pk.violation code = v
+          (* on refusal the register file is unchanged (the interpreter
+             traps before any write) *)
+          && Cap.equal (Pk.unpack pk src) c)
+
 let suite =
   List.map Qcheck_seed.to_alcotest
     [
@@ -148,6 +331,8 @@ let suite =
       prop_and_perms_is_intersection;
       prop_attenuate_loaded_monotone;
       prop_seal_roundtrip_preserves;
+      prop_pack_unpack_bijection;
+      prop_packed_derivation_equiv;
     ]
 
 let () = Alcotest.run "cheriot_cap_props" [ ("capability-algebra", suite) ]

@@ -111,7 +111,7 @@ let view machine obs interp outcome =
     s_outcome = outcome_to_string outcome;
     s_instret = Interp.instret interp;
     s_cycles = Machine.cycles machine;
-    s_regs = Array.to_list (Array.map Cap.to_string (Interp.regs interp));
+    s_regs = Array.to_list (Array.map Cap.to_string (Interp.read_regs interp));
     s_events = List.map (Fmt.str "%a" Obs.pp_event) (Obs.events obs);
   }
 
@@ -122,17 +122,17 @@ let run_one ~engine ~fuel prog =
   let interp = Interp.create ~engine machine in
   Interp.map_segment interp ~base:code_base prog;
   let sram = Machine.sram_base machine in
-  (Interp.regs interp).(6) <-
-    Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
-  (Interp.regs interp).(7) <-
-    Cap.make_root ~base:(sram + 64) ~top:(sram + 96) ~perms:Perm.Set.read_write;
+  Interp.set_reg interp 6
+    @@ Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+  Interp.set_reg interp 7
+    @@ Cap.make_root ~base:(sram + 64) ~top:(sram + 96) ~perms:Perm.Set.read_write;
   let pcc =
     Cap.make_root ~base:code_base
       ~top:(code_base + Isa.code_bytes prog)
       ~perms:Perm.Set.executable
   in
   let entry = Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit) in
-  (Interp.regs interp).(8) <- entry;
+  Interp.set_reg interp 8 @@ entry;
   let outcome = Interp.run ~fuel interp entry in
   view machine obs interp outcome
 
@@ -243,8 +243,8 @@ let test_jump_out_exits () =
     let away =
       Cap.make_root ~base:sram ~top:(sram + 64) ~perms:Perm.Set.executable
     in
-    (Interp.regs interp).(8) <-
-      Cap.exn (Cap.seal_entry away Cap.Otype.Call_inherit);
+    Interp.set_reg interp 8
+      @@ Cap.exn (Cap.seal_entry away Cap.Otype.Call_inherit);
     let pcc =
       Cap.make_root ~base:code_base
         ~top:(code_base + Isa.code_bytes prog)
@@ -292,8 +292,8 @@ let run_loop ~engine ?(fuel = 100_000) ~trips setup =
   let prog = loop_prog trips in
   Interp.map_segment interp ~base:code_base prog;
   let sram = Machine.sram_base machine in
-  (Interp.regs interp).(6) <-
-    Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+  Interp.set_reg interp 6
+    @@ Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
   let extra = setup machine in
   let pcc =
     Cap.make_root ~base:code_base
@@ -382,8 +382,8 @@ let test_epoch_invalidation_between_runs () =
     Interp.map_segment interp ~base:code_base prog;
     let sram = Machine.sram_base machine in
     let mem = Machine.mem machine in
-    (Interp.regs interp).(6) <-
-      Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+    Interp.set_reg interp 6
+      @@ Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
     let pcc =
       Cap.make_root ~base:code_base
         ~top:(code_base + Isa.code_bytes prog)

@@ -45,7 +45,7 @@ let test_arith_loop () =
   in
   let _, t, pcc = setup items in
   check_halt "run" (Interp.run t pcc);
-  Alcotest.(check int) "sum" 55 (Interp.to_int (Interp.regs t).(ca0))
+  Alcotest.(check int) "sum" 55 (Interp.to_int (Interp.get_reg t ca0))
 
 let test_memory_instrs () =
   let items =
@@ -59,10 +59,10 @@ let test_memory_instrs () =
     ]
   in
   let m, t, pcc = setup items in
-  (Interp.regs t).(ca0) <- sram_cap m;
+  Interp.set_reg t ca0 @@ sram_cap m;
   check_halt "run" (Interp.run t pcc);
-  Alcotest.(check int) "loaded word" 0xbeef (Interp.to_int (Interp.regs t).(ca1));
-  Alcotest.(check bool) "loaded cap tagged" true (Cap.tag (Interp.regs t).(ca2))
+  Alcotest.(check int) "loaded word" 0xbeef (Interp.to_int (Interp.get_reg t ca1));
+  Alcotest.(check bool) "loaded cap tagged" true (Cap.tag (Interp.get_reg t ca2))
 
 let test_cap_instrs () =
   let items =
@@ -77,12 +77,12 @@ let test_cap_instrs () =
     ]
   in
   let m, t, pcc = setup items in
-  (Interp.regs t).(ca0) <- sram_cap m;
+  Interp.set_reg t ca0 @@ sram_cap m;
   check_halt "run" (Interp.run t pcc);
-  Alcotest.(check int) "base" (Machine.sram_base m + 128) (Interp.to_int (Interp.regs t).(ca2));
-  Alcotest.(check int) "len" 64 (Interp.to_int (Interp.regs t).(ca3));
+  Alcotest.(check int) "base" (Machine.sram_base m + 128) (Interp.to_int (Interp.get_reg t ca2));
+  Alcotest.(check int) "len" 64 (Interp.to_int (Interp.get_reg t ca3));
   Alcotest.(check int) "perms" (Perm.Set.to_bits Perm.Set.read_only)
-    (Interp.to_int (Interp.regs t).(ca5))
+    (Interp.to_int (Interp.get_reg t ca5))
 
 let test_trap_on_bad_access () =
   let items = [ I (Lw (ca1, 0, ca0)); I Halt ] in
@@ -100,7 +100,7 @@ let test_trap_on_bad_access () =
 let test_trap_on_widen () =
   let items = [ I (Csetboundsimm (ca1, ca0, 1 lsl 20)); I Halt ] in
   let m, t, pcc = setup items in
-  (Interp.regs t).(ca0) <- sram_cap m;
+  Interp.set_reg t ca0 @@ sram_cap m;
   match Interp.run t pcc with
   | Interp.Trapped { tcause = Interp.Cap_fault Cap.Bounds_violation; _ } -> ()
   | _ -> Alcotest.fail "expected bounds trap"
@@ -118,8 +118,8 @@ let test_cjal_and_return () =
   in
   let _, t, pcc = setup items in
   check_halt "run" (Interp.run t pcc);
-  Alcotest.(check int) "sub ran" 42 (Interp.to_int (Interp.regs t).(ca0));
-  Alcotest.(check int) "fallthrough ran" 7 (Interp.to_int (Interp.regs t).(ca1))
+  Alcotest.(check int) "sub ran" 42 (Interp.to_int (Interp.get_reg t ca0));
+  Alcotest.(check int) "fallthrough ran" 7 (Interp.to_int (Interp.get_reg t ca1))
 
 let test_sentry_posture () =
   (* Jump through an interrupt-disabling forward sentry; the backward
@@ -140,7 +140,7 @@ let test_sentry_posture () =
     Cap.exn
       (Cap.seal_entry (Cap.with_address_exn pcc handler_addr) Cap.Otype.Call_disable)
   in
-  (Interp.regs t).(ct2) <- handler;
+  Interp.set_reg t ct2 @@ handler;
   Machine.set_irq_enabled m true;
   check_halt "run" (Interp.run t pcc);
   Alcotest.(check bool) "posture restored" true (Machine.irq_enabled m)
@@ -153,7 +153,7 @@ let test_jump_to_data_sealed_traps () =
       (Cap.make_sealing_root ~first:Cap.Otype.data_first ~last:Cap.Otype.data_last)
       Cap.Otype.data_first
   in
-  (Interp.regs t).(ct2) <- Cap.exn (Cap.seal ~key (sram_cap m));
+  Interp.set_reg t ct2 @@ Cap.exn (Cap.seal ~key (sram_cap m));
   match Interp.run t pcc with
   | Interp.Trapped { tcause = Interp.Cap_fault Cap.Seal_violation; _ } -> ()
   | _ -> Alcotest.fail "expected seal trap"
@@ -166,7 +166,7 @@ let test_exit_to_native () =
   let target =
     Cap.make_root ~base:0x5000_0000 ~top:0x5000_1000 ~perms:Perm.Set.executable
   in
-  (Interp.regs t).(ct2) <- target;
+  Interp.set_reg t ct2 @@ target;
   match Interp.run t pcc with
   | Interp.Exited c -> Alcotest.(check int) "target addr" 0x5000_0000 (Cap.address c)
   | _ -> Alcotest.fail "expected exit"
@@ -190,7 +190,7 @@ let test_specialrw_needs_sr () =
   in
   Interp.set_special t Isa.mtdc (sram_cap m);
   check_halt "privileged run" (Interp.run t pcc);
-  Alcotest.(check bool) "read mtdc" true (Cap.tag (Interp.regs t).(ca0))
+  Alcotest.(check bool) "read mtdc" true (Cap.tag (Interp.get_reg t ca0))
 
 let test_instret_and_cycles () =
   let items = [ I (Li (ca0, 1)); I (Li (ca1, 2)); I Halt ] in
@@ -231,9 +231,9 @@ let test_auipcc () =
   let _, t, pcc = setup items in
   check_halt "run" (Interp.run t pcc);
   Alcotest.(check int) "label address" (code_base + 12)
-    (Interp.to_int (Interp.regs t).(ca1));
+    (Interp.to_int (Interp.get_reg t ca1));
   Alcotest.(check bool) "bounds preserved" true
-    (Cap.base (Interp.regs t).(ca0) = code_base)
+    (Cap.base (Interp.get_reg t ca0) = code_base)
 
 let test_sentry_kinds_encode () =
   (* Csealentry with explicit kinds; Cgettype reports the encoding. *)
@@ -247,11 +247,11 @@ let test_sentry_kinds_encode () =
     ]
   in
   let _, t, pcc = setup items in
-  (Interp.regs t).(ca0) <-
-    Cap.make_root ~base:0x5000_0000 ~top:0x5000_1000 ~perms:Perm.Set.executable;
+  Interp.set_reg t ca0
+    (Cap.make_root ~base:0x5000_0000 ~top:0x5000_1000 ~perms:Perm.Set.executable);
   check_halt "run" (Interp.run t pcc);
-  Alcotest.(check int) "call-enable type" 3 (Interp.to_int (Interp.regs t).(ca2));
-  Alcotest.(check int) "return-disable type" 4 (Interp.to_int (Interp.regs t).(ca4))
+  Alcotest.(check int) "call-enable type" 3 (Interp.to_int (Interp.get_reg t ca2));
+  Alcotest.(check int) "return-disable type" 4 (Interp.to_int (Interp.get_reg t ca4))
 
 let test_backward_sentry_restores_posture () =
   (* Disable interrupts by calling through a Call_disable sentry, then
@@ -267,11 +267,11 @@ let test_backward_sentry_restores_posture () =
     ]
   in
   let m, t, pcc = setup items in
-  (Interp.regs t).(ct2) <-
-    Cap.exn
-      (Cap.seal_entry
-         (Cap.with_address_exn pcc (code_base + 8))
-         Cap.Otype.Call_disable);
+  Interp.set_reg t ct2
+    (Cap.exn
+       (Cap.seal_entry
+          (Cap.with_address_exn pcc (code_base + 8))
+          Cap.Otype.Call_disable));
   Machine.set_irq_enabled m true;
   check_halt "run" (Interp.run t pcc);
   Alcotest.(check bool) "posture restored after return" true (Machine.irq_enabled m)
@@ -281,7 +281,7 @@ let test_store_into_readonly_segment_data () =
      traps (code is immutable at run time). *)
   let items = [ I (Sw (ca0, 0, ca1)); I Halt ] in
   let _, t, pcc = setup items in
-  (Interp.regs t).(ca1) <- pcc;
+  Interp.set_reg t ca1 @@ pcc;
   match Interp.run t pcc with
   | Interp.Trapped { tcause = Interp.Cap_fault (Cap.Permit_violation Perm.Store); _ } -> ()
   | _ -> Alcotest.fail "store through PCC allowed"
@@ -319,7 +319,7 @@ let prop_interp_total =
     (fun instrs ->
       let items = List.map (fun i -> I i) instrs @ [ L "out"; I Halt ] in
       let m, t, pcc = setup items in
-      (Interp.regs t).(ca0) <- sram_cap m;
+      Interp.set_reg t ca0 @@ sram_cap m;
       match Interp.run ~fuel:2_000 t pcc with
       | Interp.Halted | Interp.Trapped _ | Interp.Exited _ -> true)
 

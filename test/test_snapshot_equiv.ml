@@ -113,16 +113,16 @@ let make_rig ~engine prog_a prog_b =
   Interp.map_segment interp ~base:code_base prog_a;
   Interp.map_segment interp ~base:code_base2 prog_b;
   let sram = Machine.sram_base machine in
-  (Interp.regs interp).(6) <-
-    Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
-  (Interp.regs interp).(7) <-
-    Cap.make_root ~base:(sram + 64) ~top:(sram + 96) ~perms:Perm.Set.read_write;
+  Interp.set_reg interp 6
+    @@ Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+  Interp.set_reg interp 7
+    @@ Cap.make_root ~base:(sram + 64) ~top:(sram + 96) ~perms:Perm.Set.read_write;
   let pcc =
     Cap.make_root ~base:code_base
       ~top:(code_base + Isa.code_bytes prog_a)
       ~perms:Perm.Set.executable
   in
-  (Interp.regs interp).(8) <- Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit);
+  Interp.set_reg interp 8 @@ Cap.exn (Cap.seal_entry pcc Cap.Otype.Call_inherit);
   { machine; obs; frn; prof; interp }
 
 let entry_of base prog =
@@ -149,7 +149,7 @@ let run_epilogue ~fuel rig prog_b =
     s_outcome = outcome_to_string outcome;
     s_instret = Interp.instret rig.interp;
     s_cycles = cycles;
-    s_regs = Array.to_list (Array.map Cap.to_string (Interp.regs rig.interp));
+    s_regs = Array.to_list (Array.map Cap.to_string (Interp.read_regs rig.interp));
     s_events = List.map (Fmt.str "%a" Obs.pp_event) (Obs.events rig.obs);
     s_folded = Profiler.to_folded_text rig.prof ~total_cycles:cycles;
     s_fleet = Agg.table (Agg.of_forensics rig.frn ~cycles);
@@ -301,8 +301,8 @@ let test_restore_over_warm_superblock_caches () =
     Interp.map_segment interp ~base:code_base prog;
     let sram = Machine.sram_base machine in
     let mem = Machine.mem machine in
-    (Interp.regs interp).(6) <-
-      Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
+    Interp.set_reg interp 6
+      @@ Cap.make_root ~base:sram ~top:(sram + 1024) ~perms:Perm.Set.read_write;
     let go () =
       ( outcome_to_string (Interp.run ~fuel:10_000 interp (entry_of code_base prog)),
         Interp.instret interp,

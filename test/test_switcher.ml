@@ -59,7 +59,7 @@ let test_callee_register_state () =
   let checked = ref false in
   let k, run = boot (fun k ctx ->
       Kernel.implement1 k ~comp:"callee" ~entry:"probe" (fun cctx args ->
-          let regs = Interp.regs (Kernel.interp k) in
+          let regs = Interp.read_regs (Kernel.interp k) in
           (* Arguments delivered. *)
           Alcotest.(check int) "arg0" 11 (ti args.(0));
           Alcotest.(check int) "arg1" 22 (ti args.(1));
@@ -111,7 +111,7 @@ let test_caller_register_state_after_return () =
       | Ok (r0, r1) ->
           Alcotest.(check int) "ret0" 7 (ti r0);
           Alcotest.(check int) "ret1" 8 (ti r1);
-          let regs = Interp.regs (Kernel.interp ctx.Kernel.kernel) in
+          let regs = Interp.read_regs (Kernel.interp ctx.Kernel.kernel) in
           List.iter
             (fun (name, r) ->
               Alcotest.(check bool) (name ^ " cleared on return") false
